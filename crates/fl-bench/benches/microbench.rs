@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! matrix multiply, environment stepping, PPO updates, trace generation,
+//! the frequency solver, and a FedAvg round. These guard the simulator's
+//! throughput (the offline DRL training loop of Algorithm 1 runs millions
+//! of environment steps).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fl_bench::Scenario;
+use fl_ctrl::{optimize_frequencies, EnvConfig, FlFreqEnv, SolverParams};
+use fl_learn::{data, FedAvg, FedAvgConfig, LocalTrainer};
+use fl_nn::Matrix;
+use fl_rl::{Environment, PpoAgent, PpoConfig, Transition};
+use fl_sim::DeviceSampler;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |r, cc| ((r * 31 + cc * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(n, n, |r, cc| ((r * 7 + cc * 3) % 11) as f64 - 5.0);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_env_step(c: &mut Criterion) {
+    let scenario = Scenario::testbed();
+    let sys = scenario.build();
+    let mut env = FlFreqEnv::new(sys, EnvConfig::default()).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    env.reset(&mut rng).unwrap();
+    c.bench_function("env_step_n3", |b| {
+        b.iter(|| {
+            let step = env.step(black_box(&[0.1, -0.1, 0.0])).unwrap();
+            if step.done {
+                env.reset(&mut rng).unwrap();
+            }
+            black_box(step.reward)
+        })
+    });
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let config = PpoConfig {
+        hidden: vec![64, 64],
+        buffer_capacity: 256,
+        minibatch_size: 64,
+        epochs: 4,
+        target_kl: None,
+        ..PpoConfig::default()
+    };
+    let obs_dim = 27;
+    let action_dim = 3;
+    let mut agent = PpoAgent::new(obs_dim, action_dim, config, &mut rng).unwrap();
+    let mut buffer = agent.make_buffer().unwrap();
+    while !buffer.is_full() {
+        let obs: Vec<f64> = (0..obs_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let out = agent.act(&obs, &mut rng).unwrap();
+        buffer
+            .push(Transition {
+                obs: out.norm_obs,
+                action: out.action,
+                log_prob: out.log_prob,
+                reward: rng.gen_range(-1.0..0.0),
+                value: out.value,
+                done: false,
+            })
+            .unwrap();
+    }
+    c.bench_function("ppo_update_256x4", |b| {
+        b.iter_batched(
+            || (agent.clone(), ChaCha8Rng::seed_from_u64(3)),
+            |(mut a, mut r)| black_box(a.update(&buffer, 0.0, &mut r).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen");
+    for profile in [
+        fl_net::synth::Profile::Walking4G,
+        fl_net::synth::Profile::BusHsdpa,
+    ] {
+        group.bench_function(format!("{profile:?}_3600s"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| black_box(profile.generate(3600, 1.0, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_freq_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("freq_solver");
+    for &n in &[3usize, 50] {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let devices = DeviceSampler::default().sample_fleet(&vec![0; n], &mut rng);
+        let bw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..8.0)).collect();
+        let params = SolverParams {
+            tau: 1,
+            model_size_mb: 10.0,
+            lambda: 0.5,
+            min_freq_frac: 0.1,
+        };
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| black_box(optimize_frequencies(&devices, &params, &bw).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fedavg_round(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let dataset = data::gaussian_blobs(600, 2, 5.0, &mut rng).unwrap();
+    let shards = data::split_non_iid(&dataset, 3, 0.3, &mut rng).unwrap();
+    let model = LocalTrainer::default_model(2, &mut rng).unwrap();
+    let fed = FedAvg::new(model, FedAvgConfig::default()).unwrap();
+    c.bench_function("fedavg_round_3x200", |b| {
+        b.iter_batched(
+            || (fed.clone(), ChaCha8Rng::seed_from_u64(7)),
+            |(mut f, mut r)| black_box(f.round(&shards, &mut r).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_transfer_time(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let trace = fl_net::synth::Profile::Walking4G
+        .generate(3600, 1.0, &mut rng)
+        .unwrap()
+        .cyclic();
+    c.bench_function("transfer_time_10mb", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t = (t + 13.7) % 3000.0;
+            black_box(trace.transfer_time(t, 10.0).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_env_step,
+    bench_ppo_update,
+    bench_trace_gen,
+    bench_freq_solver,
+    bench_fedavg_round,
+    bench_transfer_time,
+);
+criterion_main!(benches);

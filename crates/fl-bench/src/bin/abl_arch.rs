@@ -1,0 +1,56 @@
+//! Ablation — actor architecture: joint vs weight-shared per-device.
+//!
+//! The paper writes the policy as one network `π(a_k|s_k; θ_a)` but does
+//! not pin the architecture. This repository offers two:
+//!   * `Joint` — one MLP from the full state to all N means (positional
+//!     device identity; the literal reading),
+//!   * `Shared` — one MLP applied per device (own history ⊕ fleet-average
+//!     history ⊕ device constants), N× denser gradient signal.
+//!
+//! This sweep trains both at several fleet sizes and shows where sharing
+//! starts to matter.
+//!
+//! Usage: `cargo run --release -p fl-bench --bin abl_arch [episodes] [iters]`
+
+use fl_bench::{dump_json, Scenario};
+use fl_ctrl::{run_controller, train_drl, PolicyArch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let episodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let iterations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let mut results = Vec::new();
+    println!(
+        "{:>4} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "N", "arch", "mean cost", "mean time", "mean energy", "params"
+    );
+    for &n in &[3usize, 10, 25] {
+        let mut scenario = Scenario::testbed();
+        scenario.name = format!("arch-n{n}");
+        scenario.n_devices = n;
+        let sys = scenario.build();
+        for arch in [PolicyArch::Joint, PolicyArch::Shared] {
+            let mut config = scenario.train_config(episodes);
+            config.arch = arch;
+            let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xA4C);
+            let out = train_drl(&sys, &config, &mut rng).expect("training");
+            let params = out.controller.policy().mean_net().num_params();
+            let mut ctrl = out.controller;
+            let run = run_controller(&sys, &mut ctrl, iterations, 200.0).expect("evaluation");
+            let (c, t, e) = run.summary();
+            println!("{n:>4} {arch:>8?} {c:>12.3} {t:>12.3} {e:>12.3} {params:>10}");
+            results.push(serde_json::json!({
+                "n_devices": n,
+                "arch": format!("{arch:?}"),
+                "mean_cost": c,
+                "mean_time": t,
+                "mean_energy": e,
+                "actor_params": params,
+            }));
+        }
+    }
+    dump_json("abl_arch.json", &serde_json::json!({"sweep": results}));
+}

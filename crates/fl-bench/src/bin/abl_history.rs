@@ -1,0 +1,44 @@
+//! Ablation — the state's bandwidth-history length `H`.
+//!
+//! Section IV-B1 builds the DRL state from the `H+1` most recent bandwidth
+//! slot-averages per device. This sweep trains an agent per `H` and
+//! reports the online cost: too little history starves regime detection,
+//! while very long histories dilute the signal and slow learning.
+//!
+//! Usage: `cargo run --release -p fl-bench --bin abl_history [episodes] [iters]`
+
+use fl_bench::{dump_json, Scenario};
+use fl_ctrl::{run_controller, train_drl};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let episodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let iterations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let histories = [0usize, 2, 4, 8, 16];
+
+    let scenario = Scenario::testbed();
+    let sys = scenario.build();
+    let mut results = Vec::new();
+    println!("{:>4} {:>12} {:>12} {:>12}", "H", "mean cost", "mean time", "mean energy");
+    for &h in &histories {
+        let mut config = scenario.train_config(episodes);
+        config.env.history_len = h;
+        let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xAB2);
+        let out = train_drl(&sys, &config, &mut rng).expect("training");
+        let plateau = out.final_mean_cost(50);
+        let mut ctrl = out.controller;
+        let run = run_controller(&sys, &mut ctrl, iterations, 200.0).expect("evaluation");
+        let (c, t, e) = run.summary();
+        println!("{h:>4} {c:>12.3} {t:>12.3} {e:>12.3}");
+        results.push(serde_json::json!({
+            "history_len": h,
+            "mean_cost": c,
+            "mean_time": t,
+            "mean_energy": e,
+            "final_train_cost": plateau,
+        }));
+    }
+    dump_json("abl_history.json", &serde_json::json!({"sweep": results}));
+}

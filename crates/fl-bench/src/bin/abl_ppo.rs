@@ -1,0 +1,88 @@
+//! Ablation — Algorithm-1 / PPO hyperparameters.
+//!
+//! Three sweeps over the knobs Algorithm 1 exposes:
+//!   * `|D|` (replay-buffer capacity, line 17),
+//!   * `M` (update epochs per buffer, line 18),
+//!   * GAE λ, where `λ_GAE = 0` reduces the advantage estimator to the
+//!     exact one-step TD errors written in Algorithm 1 line 20.
+//!
+//! Each configuration trains a fresh agent and reports the final training
+//! plateau plus online cost.
+//!
+//! Usage: `cargo run --release -p fl-bench --bin abl_ppo [episodes] [iters]`
+
+use fl_bench::{dump_json, Scenario};
+use fl_ctrl::{run_controller, train_drl};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let episodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let iterations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let scenario = Scenario::testbed();
+    let sys = scenario.build();
+    let mut results = Vec::new();
+
+    let mut eval = |label: String, mutate: &dyn Fn(&mut fl_ctrl::TrainConfig)| {
+        let mut config = scenario.train_config(episodes);
+        mutate(&mut config);
+        let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xAB3);
+        let out = train_drl(&sys, &config, &mut rng).expect("training");
+        let plateau = out.final_mean_cost(50);
+        let mut ctrl = out.controller;
+        let run = run_controller(&sys, &mut ctrl, iterations, 200.0).expect("evaluation");
+        let (c, t, e) = run.summary();
+        println!("{label:<24} plateau={plateau:>8.3} online cost={c:>8.3} time={t:>7.3} energy={e:>7.3}");
+        results.push(serde_json::json!({
+            "config": label,
+            "train_plateau": plateau,
+            "online_cost": c,
+            "online_time": t,
+            "online_energy": e,
+        }));
+    };
+
+    println!("-- replay buffer capacity |D| --");
+    for &cap in &[100usize, 250, 500, 1000] {
+        eval(format!("|D|={cap}"), &move |c| {
+            c.ppo.buffer_capacity = cap;
+        });
+    }
+
+    println!("\n-- update epochs M --");
+    for &m in &[1usize, 4, 10, 20] {
+        eval(format!("M={m}"), &move |c| {
+            c.ppo.epochs = m;
+        });
+    }
+
+    println!("\n-- GAE lambda (0 = Algorithm 1's TD errors) --");
+    for &gl in &[0.0, 0.5, 0.9, 1.0] {
+        eval(format!("gae_lambda={gl}"), &move |c| {
+            c.ppo.gae_lambda = gl;
+        });
+    }
+
+    println!("\n-- PPO clip epsilon --");
+    for &clip in &[0.05, 0.1, 0.2, 0.4] {
+        eval(format!("clip={clip}"), &move |c| {
+            c.ppo.clip = clip;
+        });
+    }
+
+    println!("\n-- extensions: value clipping / lr annealing --");
+    eval("value_clip=0.2".to_string(), &|c| {
+        c.ppo.value_clip = Some(0.2);
+    });
+    eval("lr_decay=0.995".to_string(), &|c| {
+        c.ppo.lr_decay = 0.995;
+    });
+    eval("both".to_string(), &|c| {
+        c.ppo.value_clip = Some(0.2);
+        c.ppo.lr_decay = 0.995;
+    });
+
+    dump_json("abl_ppo.json", &serde_json::json!({"sweep": results}));
+}

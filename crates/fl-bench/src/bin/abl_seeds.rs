@@ -1,0 +1,83 @@
+//! Ablation — seed robustness of the headline (Fig. 7) result.
+//!
+//! Everything in this repository is deterministic given a seed, which cuts
+//! both ways: a single seed could flatter the method. This bench re-runs
+//! the full testbed pipeline (fresh fleet, fresh traces, fresh training,
+//! fresh evaluation) across several master seeds and reports the
+//! mean ± std of each controller's online cost, plus how often DRL is the
+//! best deployable controller.
+//!
+//! Usage: `cargo run --release -p fl-bench --bin abl_seeds [n_seeds] [episodes]`
+
+use fl_bench::{dump_json, Scenario};
+use fl_ctrl::{
+    compare_controllers, FrequencyController, HeuristicController, MaxFreqController,
+    StaticController,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_seeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let episodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(800);
+    let iterations = 300;
+
+    let mut per_controller: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut drl_wins = 0usize;
+    for s in 0..n_seeds {
+        let mut scenario = Scenario::testbed();
+        scenario.seed = scenario.seed.wrapping_add(1000 * s as u64);
+        scenario.name = format!("seeds-{s}");
+        let sys = scenario.build();
+        let out = scenario.train(&sys, episodes);
+        let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0x5EED);
+        let stat = StaticController::new(&sys, 1000, 0.1, &mut rng).expect("static");
+        let controllers: Vec<Box<dyn FrequencyController + Send>> = vec![
+            Box::new(out.controller),
+            Box::new(HeuristicController::default()),
+            Box::new(stat),
+            Box::new(MaxFreqController),
+        ];
+        let runs = compare_controllers(&sys, controllers, iterations, 200.0)
+            .expect("evaluation");
+        let costs: Vec<(String, f64)> = runs
+            .iter()
+            .map(|r| (r.name.clone(), r.ledger.mean_cost()))
+            .collect();
+        let drl_cost = costs[0].1;
+        let best_other = costs[1..]
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min);
+        if drl_cost <= best_other {
+            drl_wins += 1;
+        }
+        print!("seed {s}:");
+        for (name, c) in &costs {
+            print!("  {name}={c:.2}");
+            per_controller.entry(name.clone()).or_default().push(*c);
+        }
+        println!();
+    }
+
+    println!("\n{:<12} {:>10} {:>8}", "approach", "mean cost", "std");
+    let mut results = Vec::new();
+    for (name, costs) in &per_controller {
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        let var = costs.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
+            / costs.len() as f64;
+        println!("{name:<12} {mean:>10.3} {:>8.3}", var.sqrt());
+        results.push(serde_json::json!({
+            "name": name, "mean": mean, "std": var.sqrt(), "costs": costs,
+        }));
+    }
+    println!(
+        "\nDRL best deployable controller in {drl_wins}/{n_seeds} independent worlds."
+    );
+    dump_json(
+        "abl_seeds.json",
+        &serde_json::json!({"n_seeds": n_seeds, "drl_wins": drl_wins, "results": results}),
+    );
+}

@@ -1,0 +1,46 @@
+//! Run a user-supplied experiment from a JSON [`fl_ctrl::ExperimentConfig`].
+//!
+//! ```bash
+//! # write a template to edit:
+//! cargo run --release -p fl-bench --bin custom -- --template > my_exp.json
+//! # run it:
+//! cargo run --release -p fl-bench --bin custom -- my_exp.json
+//! ```
+
+use fl_bench::{print_relative, print_summary_table};
+use fl_ctrl::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--template") => {
+            println!(
+                "{}",
+                ExperimentConfig::default()
+                    .to_json()
+                    .expect("default config serializes")
+            );
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let config = ExperimentConfig::from_json(&text)
+                .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+            println!(
+                "running experiment: N={} profile={:?} lambda={} ({} controllers, {} iterations)",
+                config.n_devices,
+                config.profile,
+                config.fl.lambda,
+                config.controllers.len(),
+                config.eval_iterations
+            );
+            let runs = config.run().expect("experiment runs");
+            print_summary_table("custom experiment", &runs);
+            print_relative(&runs);
+        }
+        None => {
+            eprintln!("usage: custom <config.json> | custom --template");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 2 — the dynamics of network bandwidth.
+//!
+//! (a) three 4G walking traces over 400 s (paper: Ghent dataset, swings
+//!     between <1 MB/s and ~9 MB/s), (b) an HSDPA bus trace (paper: Norway
+//!     dataset, fluctuating within [0, 800 KB/s]).
+//!
+//! Prints the series plus the summary statistics that substantiate the
+//! substitution argument (envelope, swing, autocorrelation).
+//!
+//! Usage: `cargo run --release -p fl-bench --bin fig2_traces`
+
+use fl_bench::dump_json;
+use fl_net::stats;
+use fl_net::synth::Profile;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let window = 400usize;
+
+    println!("Fig. 2(a): three walking 4G traces, {window} s (MB/s)");
+    let mut walking = Vec::new();
+    for i in 0..3 {
+        let t = Profile::Walking4G.generate(window, 1.0, &mut rng).unwrap();
+        let s = stats::Summary::of(t.slots()).unwrap();
+        println!(
+            "  trace {i}: min {:.2}  mean {:.2}  max {:.2}  std {:.2}  lag1-autocorr {:.2}",
+            s.min,
+            s.mean,
+            s.max,
+            s.std,
+            stats::autocorrelation(t.slots(), 1)
+        );
+        walking.push(t);
+    }
+    println!("\n  t(s)   trace0  trace1  trace2");
+    for t in (0..window).step_by(20) {
+        println!(
+            "  {t:4}   {:6.2}  {:6.2}  {:6.2}",
+            walking[0].slots()[t],
+            walking[1].slots()[t],
+            walking[2].slots()[t]
+        );
+    }
+
+    println!("\nFig. 2(b): HSDPA bus trace, {window} s (MB/s)");
+    let bus = Profile::BusHsdpa.generate(window, 1.0, &mut rng).unwrap();
+    let s = stats::Summary::of(bus.slots()).unwrap();
+    println!(
+        "  min {:.3}  mean {:.3}  max {:.3}  std {:.3}  lag1-autocorr {:.2}",
+        s.min,
+        s.mean,
+        s.max,
+        s.std,
+        stats::autocorrelation(bus.slots(), 1)
+    );
+    println!("\n  t(s)   bus trace");
+    for t in (0..window).step_by(20) {
+        println!("  {t:4}   {:6.3}", bus.slots()[t]);
+    }
+
+    // Paper-envelope checks, printed so deviations are visible.
+    let wmax = walking.iter().map(|t| t.max()).fold(0.0f64, f64::max);
+    let wmin = walking.iter().map(|t| t.min()).fold(f64::INFINITY, f64::min);
+    println!("\nchecks: walking envelope [{wmin:.2}, {wmax:.2}] MB/s (paper: <1 to ~9)");
+    println!("        bus envelope [{:.3}, {:.3}] MB/s (paper: 0 to 0.8)", bus.min(), bus.max());
+
+    let json = serde_json::json!({
+        "figure": "fig2",
+        "walking": walking.iter().map(|t| t.slots().to_vec()).collect::<Vec<_>>(),
+        "bus": bus.slots().to_vec(),
+    });
+    dump_json("fig2_traces.json", &json);
+}

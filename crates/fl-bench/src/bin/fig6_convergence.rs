@@ -1,0 +1,87 @@
+//! Figure 6 — DRL training convergence (N = 3 testbed).
+//!
+//! (a) training loss vs episode: drops quickly, stabilizes within ~200
+//!     episodes; (b) average system cost per episode: decreases, then
+//!     saturates with small fluctuations around the same point.
+//!
+//! Usage: `cargo run --release -p fl-bench --bin fig6_convergence [episodes]`
+
+use fl_bench::{dump_json, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let episodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let scenario = Scenario::testbed();
+    let sys = scenario.build();
+    println!(
+        "fig6: training {} episodes on {} (N={})",
+        episodes, scenario.name, sys.num_devices()
+    );
+    let t0 = std::time::Instant::now();
+    let out = scenario.train(&sys, episodes);
+    println!("trained in {:.1?}\n", t0.elapsed());
+
+    // Episode costs are noisy (each episode starts at a random trace
+    // position, so regime luck dominates a single episode); a trailing
+    // moving average reveals the Fig. 6(b) trend.
+    let window = (episodes / 10).clamp(1, 50);
+    let costs: Vec<f64> = out.episodes.iter().map(|e| e.mean_cost).collect();
+    let moving_avg = |i: usize| -> f64 {
+        let lo = i.saturating_sub(window - 1);
+        costs[lo..=i].iter().sum::<f64>() / (i - lo + 1) as f64
+    };
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "episode", "mean cost", "ma-cost", "policy loss", "value loss", "entropy", "updates"
+    );
+    for e in &out.episodes {
+        if e.episode % 10 == 0 || e.episode + 1 == out.episodes.len() {
+            println!(
+                "{:>8} {:>12.3} {:>12.3} {:>12.4} {:>12.4} {:>10.3} {:>8}",
+                e.episode,
+                e.mean_cost,
+                moving_avg(e.episode),
+                e.policy_loss,
+                e.value_loss,
+                e.entropy,
+                e.updates_so_far
+            );
+        }
+    }
+
+    let early = &out.episodes[..(episodes / 5).max(1)];
+    let early_cost: f64 =
+        early.iter().map(|e| e.mean_cost).sum::<f64>() / early.len() as f64;
+    let late_cost = out.final_mean_cost(episodes / 5);
+    println!("\nFig. 6(b) check: early mean cost {early_cost:.3} -> late mean cost {late_cost:.3}");
+    println!(
+        "Fig. 6(a) check: critic loss episode ~10 {:.4} -> final {:.4} (training loss converges)",
+        out.episodes
+            .iter()
+            .find(|e| e.value_loss.is_finite())
+            .map(|e| e.value_loss)
+            .unwrap_or(f64::NAN),
+        out.episodes.last().map(|e| e.value_loss).unwrap_or(f64::NAN)
+    );
+    println!(
+        "note: the sigmoid action squash gives the untrained policy a mid-frequency\n\
+         default, so the cost curve starts far closer to the optimum than the\n\
+         paper's; the convergence signal is clearest in the critic loss and the\n\
+         shrinking exploration entropy."
+    );
+
+    let json = serde_json::json!({
+        "figure": "fig6",
+        "episodes": out.episodes.iter().map(|e| serde_json::json!({
+            "episode": e.episode,
+            "mean_cost": e.mean_cost,
+            "policy_loss": e.policy_loss,
+            "value_loss": e.value_loss,
+            "entropy": e.entropy,
+        })).collect::<Vec<_>>(),
+        "early_mean_cost": early_cost,
+        "late_mean_cost": late_cost,
+    });
+    dump_json("fig6_convergence.json", &json);
+}

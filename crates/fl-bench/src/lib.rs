@@ -1,0 +1,291 @@
+//! # fl-bench — the figure-regeneration harness
+//!
+//! One binary per figure of the paper (see DESIGN.md's experiment index),
+//! plus ablation sweeps. This library holds the pieces the binaries share:
+//! canonical scenario builders (the paper's testbed and 50-device
+//! simulation), plain-text table/CDF printers, and JSON result dumping for
+//! EXPERIMENTS.md bookkeeping.
+//!
+//! Run any figure with, e.g.:
+//!
+//! ```bash
+//! cargo run --release -p fl-bench --bin fig7_testbed
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards reject NaN along with out-of-range values;
+// clippy's suggested inversion (`x <= 0.0`) would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+use fl_ctrl::{
+    train_drl, ControllerRun, DrlController, EnvConfig, PolicyArch, TrainConfig, TrainOutput,
+};
+use fl_net::stats::EmpiricalCdf;
+use fl_net::synth::Profile;
+use fl_rl::PpoConfig;
+use fl_sim::{DeviceSampler, FlConfig, FlSystem, Range};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fully specified experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable label.
+    pub name: String,
+    /// Number of devices `N`.
+    pub n_devices: usize,
+    /// Number of traces in the pool (paper: 3 for the testbed, 5 for the
+    /// 50-device simulation).
+    pub n_traces: usize,
+    /// Trace profile.
+    pub profile: Profile,
+    /// Trace length in 1-second slots.
+    pub trace_slots: usize,
+    /// Task configuration (τ, ξ, λ).
+    pub fl: FlConfig,
+    /// Device-parameter ranges.
+    pub sampler: DeviceSampler,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Device ranges calibrated to land on the paper's reported magnitudes
+/// (per-iteration time ≈ 5–6, cost ≈ 7–10): the paper's "50–100 MB" of
+/// training data is read as 50–100 **Mbit** (6.25–12.5 MB) — with the
+/// literal MB reading, compute time alone is 8–16 s at full speed, which
+/// contradicts the ~6 s total iterations in Fig. 7(b). α is raised to
+/// κ ≈ 2–8 × 10⁻²⁸ (older mobile silicon) so energy stays a meaningful
+/// cost share. See EXPERIMENTS.md.
+fn paper_calibrated_sampler() -> DeviceSampler {
+    DeviceSampler {
+        data_mb: Range { lo: 6.25, hi: 12.5 },
+        alpha: Range { lo: 0.2, hi: 0.8 },
+        ..DeviceSampler::default()
+    }
+}
+
+impl Scenario {
+    /// The paper's small-scale testbed: N=3 devices over 3 walking traces.
+    /// λ is not reported for the testbed; 0.5 reproduces the paper's cost
+    /// decomposition (time ≈ 6 of cost ≈ 7.25).
+    pub fn testbed() -> Scenario {
+        Scenario {
+            name: "testbed-n3".to_string(),
+            n_devices: 3,
+            n_traces: 3,
+            profile: Profile::Walking4G,
+            trace_slots: 3600,
+            fl: FlConfig {
+                tau: 1,
+                model_size_mb: 10.0,
+                lambda: 0.5,
+            },
+            sampler: paper_calibrated_sampler(),
+            seed: 20200518, // IPDPS 2020 main-conference date
+        }
+    }
+
+    /// The paper's scalability simulation: N=50 devices drawing from 5
+    /// walking traces, λ = 0.1 ("all the other parameters are the same").
+    pub fn scale50() -> Scenario {
+        Scenario {
+            name: "scale-n50".to_string(),
+            n_devices: 50,
+            n_traces: 5,
+            profile: Profile::Walking4G,
+            trace_slots: 3600,
+            fl: FlConfig {
+                tau: 1,
+                model_size_mb: 10.0,
+                lambda: 0.1,
+            },
+            sampler: paper_calibrated_sampler(),
+            seed: 20200519,
+        }
+    }
+
+    /// Builds the deterministic [`FlSystem`] for this scenario.
+    pub fn build(&self) -> FlSystem {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        fl_ctrl::build_system_with(
+            self.n_devices,
+            self.n_traces,
+            self.profile,
+            self.trace_slots,
+            self.fl,
+            &self.sampler,
+            &mut rng,
+        )
+        .expect("scenario parameters are valid")
+    }
+
+    /// The standard training configuration for this scenario.
+    ///
+    /// Large fleets get bigger rollout buffers and a tighter initial
+    /// exploration noise: with N action dimensions sharing one scalar
+    /// reward, the policy-gradient variance grows with N, so the update
+    /// needs more samples and less injected noise to stay informative.
+    pub fn train_config(&self, episodes: usize) -> TrainConfig {
+        let large = self.n_devices >= 20;
+        TrainConfig {
+            episodes,
+            ppo: PpoConfig {
+                hidden: vec![64, 64],
+                buffer_capacity: if large { 1000 } else { 250 },
+                minibatch_size: 64,
+                epochs: if large { 6 } else { 10 },
+                actor_lr: 1e-3,
+                critic_lr: 3e-3,
+                lr_decay: if large { 0.999 } else { 1.0 },
+                entropy_coef: if large { 0.0002 } else { 0.001 },
+                init_log_std: if large { -1.0 } else { -0.5 },
+                // The frequency action affects only the current iteration's
+                // cost (plus where the next iteration starts in the trace),
+                // so the task is near-bandit: a short credit horizon learns
+                // much faster than the episodic default.
+                gamma: 0.5,
+                gae_lambda: 0.9,
+                target_kl: Some(0.15),
+                ..PpoConfig::default()
+            },
+            env: EnvConfig {
+                slot_h: 10.0,
+                history_len: 8,
+                episode_len: 50,
+                min_freq_frac: 0.1,
+            },
+            // Large fleets use the weight-shared per-device actor; the
+            // N=3 testbed uses the paper-literal joint network.
+            arch: if large {
+                PolicyArch::Shared
+            } else {
+                PolicyArch::Joint
+            },
+            reward_scale: 0.05,
+        }
+    }
+
+    /// Trains the DRL controller for this scenario (deterministic given the
+    /// scenario seed).
+    pub fn train(&self, sys: &FlSystem, episodes: usize) -> TrainOutput {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xD51);
+        train_drl(sys, &self.train_config(episodes), &mut rng)
+            .expect("training configuration is valid")
+    }
+
+    /// Loads a cached trained controller from `target/` or trains and
+    /// caches one. Binaries share training runs this way (fig6 and fig7 use
+    /// the same agent, like the paper).
+    pub fn train_cached(&self, sys: &FlSystem, episodes: usize) -> (DrlController, bool) {
+        let path = std::env::temp_dir().join(format!(
+            "fedfreq-{}-{}ep-seed{}.json",
+            self.name, episodes, self.seed
+        ));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(ctrl) = DrlController::from_json(&text) {
+                return (ctrl, true);
+            }
+        }
+        let out = self.train(sys, episodes);
+        if let Ok(json) = out.controller.to_json() {
+            let _ = std::fs::write(&path, json);
+        }
+        (out.controller, false)
+    }
+}
+
+/// Prints a fixed-width summary table (the Fig. 7(a–c) bars as rows).
+pub fn print_summary_table(title: &str, runs: &[ControllerRun]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "approach", "mean cost", "mean time", "mean energy"
+    );
+    for r in runs {
+        let (c, t, e) = r.summary();
+        println!("{:<12} {:>12.3} {:>12.3} {:>12.3}", r.name, c, t, e);
+    }
+}
+
+/// Prints relative-to-first percentages, the "X% higher than DRL" numbers
+/// the paper quotes in Section V-B.
+pub fn print_relative(runs: &[ControllerRun]) {
+    if runs.is_empty() {
+        return;
+    }
+    let base = runs[0].ledger.mean_cost();
+    println!("\nrelative mean cost (baseline = {}):", runs[0].name);
+    for r in runs {
+        let pct = (r.ledger.mean_cost() / base - 1.0) * 100.0;
+        println!("  {:<12} {:+7.1}%", r.name, pct);
+    }
+}
+
+/// Prints a CDF series (Fig. 7(d–f)) as `value cumulative-probability`
+/// pairs, one controller per block.
+pub fn print_cdf(metric: &str, series: &[(String, Vec<f64>)], points: usize) {
+    println!("\n-- CDF of per-iteration {metric} --");
+    for (name, data) in series {
+        let cdf = EmpiricalCdf::new(data);
+        println!("[{name}]");
+        for (x, p) in cdf.series(points) {
+            println!("  {x:10.4} {p:6.3}");
+        }
+    }
+}
+
+/// Writes a JSON results blob next to the repo root so EXPERIMENTS.md
+/// numbers are regenerable.
+pub fn dump_json(filename: &str, value: &serde_json::Value) {
+    let path = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(path);
+    let full = path.join(filename);
+    match std::fs::write(&full, serde_json::to_string_pretty(value).expect("valid json")) {
+        Ok(()) => println!("\n[results written to {}]", full.display()),
+        Err(e) => eprintln!("could not write {}: {e}", full.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_ctrl::{run_controller, MaxFreqController};
+
+    #[test]
+    fn scenarios_build() {
+        let t = Scenario::testbed();
+        let sys = t.build();
+        assert_eq!(sys.num_devices(), 3);
+        assert_eq!(sys.config().lambda, 0.5);
+        // Calibrated device ranges (Mbit reading of the paper's data size).
+        for d in sys.devices() {
+            assert!((6.25..=12.5).contains(&d.data_mb));
+        }
+        let s = Scenario::scale50();
+        let sys = s.build();
+        assert_eq!(sys.num_devices(), 50);
+        assert_eq!(sys.config().lambda, 0.1);
+    }
+
+    #[test]
+    fn scenario_build_is_deterministic() {
+        let a = Scenario::testbed().build();
+        let b = Scenario::testbed().build();
+        assert_eq!(a.devices(), b.devices());
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        let sys = Scenario::testbed().build();
+        let mut ctrl = MaxFreqController;
+        let run = run_controller(&sys, &mut ctrl, 5, 200.0).unwrap();
+        print_summary_table("smoke", std::slice::from_ref(&run));
+        print_relative(std::slice::from_ref(&run));
+        print_cdf(
+            "cost",
+            &[(run.name.clone(), run.ledger.cost_series())],
+            5,
+        );
+    }
+}

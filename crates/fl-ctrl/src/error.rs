@@ -1,0 +1,87 @@
+//! Error type for the fl-ctrl crate.
+
+use std::fmt;
+
+/// Errors raised by the frequency-control layer.
+#[derive(Debug)]
+pub enum CtrlError {
+    /// A configuration or argument was invalid.
+    InvalidArgument(String),
+    /// Failure in the FL system model.
+    Sim(fl_sim::SimError),
+    /// Failure in the RL machinery.
+    Rl(fl_rl::RlError),
+    /// Failure in the trace layer.
+    Net(fl_net::NetError),
+    /// Failure in the NN substrate.
+    Nn(fl_nn::NnError),
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CtrlError::Sim(e) => write!(f, "simulation error: {e}"),
+            CtrlError::Rl(e) => write!(f, "rl error: {e}"),
+            CtrlError::Net(e) => write!(f, "trace error: {e}"),
+            CtrlError::Nn(e) => write!(f, "nn error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtrlError::Sim(e) => Some(e),
+            CtrlError::Rl(e) => Some(e),
+            CtrlError::Net(e) => Some(e),
+            CtrlError::Nn(e) => Some(e),
+            CtrlError::InvalidArgument(_) => None,
+        }
+    }
+}
+
+impl From<fl_sim::SimError> for CtrlError {
+    fn from(e: fl_sim::SimError) -> Self {
+        CtrlError::Sim(e)
+    }
+}
+
+impl From<fl_rl::RlError> for CtrlError {
+    fn from(e: fl_rl::RlError) -> Self {
+        CtrlError::Rl(e)
+    }
+}
+
+impl From<fl_net::NetError> for CtrlError {
+    fn from(e: fl_net::NetError) -> Self {
+        CtrlError::Net(e)
+    }
+}
+
+impl From<fl_nn::NnError> for CtrlError {
+    fn from(e: fl_nn::NnError) -> Self {
+        CtrlError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: CtrlError = fl_sim::SimError::InvalidArgument("a".into()).into();
+        assert!(e.to_string().contains("a"));
+        assert!(e.source().is_some());
+        let e: CtrlError = fl_rl::RlError::Diverged("b".into()).into();
+        assert!(e.to_string().contains("b"));
+        let e: CtrlError = fl_net::NetError::Parse("c".into()).into();
+        assert!(e.to_string().contains("c"));
+        let e: CtrlError = fl_nn::NnError::InvalidArgument("d".into()).into();
+        assert!(e.to_string().contains("d"));
+        let e = CtrlError::InvalidArgument("e".into());
+        assert!(e.source().is_none());
+    }
+}

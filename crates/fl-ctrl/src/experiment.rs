@@ -1,0 +1,194 @@
+//! Online-reasoning harness: run controllers against the same physics.
+
+use crate::controllers::FrequencyController;
+use crate::Result;
+use fl_sim::{FlSystem, SessionLedger};
+use serde::{Deserialize, Serialize};
+
+/// A finished controller evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerRun {
+    /// The controller's name.
+    pub name: String,
+    /// Per-iteration metrics.
+    pub ledger: SessionLedger,
+}
+
+impl ControllerRun {
+    /// One summary row: `(mean cost, mean time, mean energy)` — the bars of
+    /// Fig. 7(a–c).
+    pub fn summary(&self) -> (f64, f64, f64) {
+        (
+            self.ledger.mean_cost(),
+            self.ledger.mean_time(),
+            self.ledger.mean_energy(),
+        )
+    }
+}
+
+/// Runs one controller for `iterations` synchronized FL iterations starting
+/// at `t_start`, mirroring the paper's 400-iteration online evaluation.
+/// Each iteration: the controller decides frequencies from whatever
+/// information its kind is allowed (bandwidth history for DRL, previous
+/// iteration for Heuristic, nothing for Static), then the system executes.
+pub fn run_controller(
+    sys: &FlSystem,
+    ctrl: &mut dyn FrequencyController,
+    iterations: usize,
+    t_start: f64,
+) -> Result<ControllerRun> {
+    ctrl.reset();
+    let mut ledger = SessionLedger::new(sys.config().lambda);
+    let mut t = t_start;
+    let mut prev = None;
+    for k in 0..iterations {
+        let freqs = ctrl.decide(k, t, sys, prev.as_ref())?;
+        let report = sys.run_iteration(t, &freqs)?;
+        t = report.end_time();
+        ledger.push(report.clone());
+        prev = Some(report);
+    }
+    Ok(ControllerRun {
+        name: ctrl.name().to_string(),
+        ledger,
+    })
+}
+
+/// Evaluates several controllers on the *same* system and start time,
+/// fanning each out to its own thread (they only read the system).
+pub fn compare_controllers(
+    sys: &FlSystem,
+    controllers: Vec<Box<dyn FrequencyController + Send>>,
+    iterations: usize,
+    t_start: f64,
+) -> Result<Vec<ControllerRun>> {
+    let mut slots: Vec<Option<Result<ControllerRun>>> = Vec::new();
+    slots.resize_with(controllers.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (mut ctrl, slot) in controllers.into_iter().zip(slots.iter_mut()) {
+            scope.spawn(move |_| {
+                *slot = Some(run_controller(sys, ctrl.as_mut(), iterations, t_start));
+            });
+        }
+    })
+    .expect("controller evaluation thread panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by its thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controllers::{HeuristicController, MaxFreqController, StaticController};
+    use crate::flenv::build_system;
+    use fl_net::synth::Profile;
+    use fl_sim::FlConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn system(seed: u64) -> FlSystem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        build_system(3, 3, Profile::Walking4G, 2400, FlConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn run_collects_every_iteration() {
+        let sys = system(0);
+        let mut ctrl = MaxFreqController;
+        let run = run_controller(&sys, &mut ctrl, 25, 300.0).unwrap();
+        assert_eq!(run.ledger.len(), 25);
+        assert_eq!(run.name, "maxfreq");
+        let (c, t, e) = run.summary();
+        assert!(c > 0.0 && t > 0.0 && e > 0.0);
+        assert!(c >= t, "cost includes time plus weighted energy");
+        // Iterations are contiguous in time.
+        let iters = run.ledger.iterations();
+        for w in iters.windows(2) {
+            assert!((w[0].end_time() - w[1].start_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compare_runs_all_controllers_on_same_timeline() {
+        let sys = system(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let stat = StaticController::new(&sys, 200, 0.1, &mut rng).unwrap();
+        let runs = compare_controllers(
+            &sys,
+            vec![
+                Box::new(MaxFreqController),
+                Box::new(stat),
+                Box::new(HeuristicController::default()),
+            ],
+            20,
+            400.0,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 3);
+        let names: Vec<&str> = runs.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["maxfreq", "static", "heuristic"]);
+        for r in &runs {
+            assert_eq!(r.ledger.len(), 20);
+        }
+        // All start at the same time.
+        for r in &runs {
+            assert!((r.ledger.iterations()[0].start_time - 400.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_compare_matches_serial_run() {
+        let sys = system(3);
+        let runs = compare_controllers(
+            &sys,
+            vec![Box::new(MaxFreqController), Box::new(MaxFreqController)],
+            10,
+            500.0,
+        )
+        .unwrap();
+        let mut direct = MaxFreqController;
+        let serial = run_controller(&sys, &mut direct, 10, 500.0).unwrap();
+        assert_eq!(runs[0].ledger.cost_series(), serial.ledger.cost_series());
+        assert_eq!(runs[1].ledger.cost_series(), serial.ledger.cost_series());
+    }
+
+    #[test]
+    fn energy_aware_baselines_beat_maxfreq_energy() {
+        // The whole premise: both baselines should spend less energy than
+        // running flat out, at comparable or better cost.
+        let sys = system(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let stat = StaticController::new(&sys, 500, 0.1, &mut rng).unwrap();
+        let runs = compare_controllers(
+            &sys,
+            vec![
+                Box::new(MaxFreqController),
+                Box::new(stat),
+                Box::new(HeuristicController::default()),
+            ],
+            40,
+            600.0,
+        )
+        .unwrap();
+        let maxf_energy = runs[0].ledger.mean_energy();
+        let maxf_cost = runs[0].ledger.mean_cost();
+        for r in &runs[1..] {
+            assert!(
+                r.ledger.mean_energy() < maxf_energy,
+                "{} energy {} vs maxfreq {}",
+                r.name,
+                r.ledger.mean_energy(),
+                maxf_energy
+            );
+            assert!(
+                r.ledger.mean_cost() < maxf_cost * 1.15,
+                "{} cost {} vs maxfreq {}",
+                r.name,
+                r.ledger.mean_cost(),
+                maxf_cost
+            );
+        }
+    }
+}

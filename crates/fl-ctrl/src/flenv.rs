@@ -1,0 +1,385 @@
+//! The DRL environment: federated learning as a control problem.
+
+use crate::{CtrlError, Result};
+use fl_rl::{Environment, Step};
+use fl_sim::{FlSystem, IterationReport};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Environment shape parameters (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// `h`: bandwidth aggregation slot length in seconds ("tens of
+    /// seconds" per the paper).
+    pub slot_h: f64,
+    /// `H`: how many *past* slots beyond the current one enter the state
+    /// (state has `H + 1` entries per device).
+    pub history_len: usize,
+    /// Iterations per training episode.
+    pub episode_len: usize,
+    /// Frequency floor as a fraction of `δ_max` (keeps compute time
+    /// finite; the paper's open interval `(0, δ_max]` needs some floor in
+    /// any discretization).
+    pub min_freq_frac: f64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            slot_h: 10.0,
+            history_len: 8,
+            episode_len: 50,
+            min_freq_frac: 0.1,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.slot_h > 0.0) || !self.slot_h.is_finite() {
+            return Err(CtrlError::InvalidArgument(format!(
+                "slot_h must be positive, got {}",
+                self.slot_h
+            )));
+        }
+        if self.episode_len == 0 {
+            return Err(CtrlError::InvalidArgument(
+                "episode_len must be nonzero".to_string(),
+            ));
+        }
+        if !(self.min_freq_frac > 0.0 && self.min_freq_frac <= 1.0) {
+            return Err(CtrlError::InvalidArgument(format!(
+                "min_freq_frac must be in (0, 1], got {}",
+                self.min_freq_frac
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Maps one raw Gaussian policy output into a feasible frequency:
+/// `δ = (min_frac + σ(raw) · (1 − min_frac)) · δ_max ∈ (0, δ_max]`.
+///
+/// The sigmoid squash lives on the environment side so the policy's
+/// Gaussian log-probabilities stay exact (no tanh-correction terms).
+pub fn squash_to_freq(raw: f64, delta_max: f64, min_frac: f64) -> f64 {
+    let s = if raw >= 0.0 {
+        1.0 / (1.0 + (-raw).exp())
+    } else {
+        let e = raw.exp();
+        e / (1.0 + e)
+    };
+    (min_frac + s * (1.0 - min_frac)) * delta_max
+}
+
+/// The paper's MDP (Section IV-B):
+///
+/// * **State** `s_k`: for every device, the `H+1` most recent `h`-second
+///   bandwidth slot-averages (newest first), concatenated device-major.
+/// * **Action** `a_k`: one raw value per device, squashed into
+///   `(0, δ_i^max]` by [`squash_to_freq`].
+/// * **Reward** (Eq. 13): `r_k = −T^k − λ Σ_i E_i^k`.
+/// * **Episode**: `episode_len` synchronized FL iterations starting from a
+///   uniformly random trace time (Algorithm 1 line 6).
+pub struct FlFreqEnv {
+    sys: FlSystem,
+    cfg: EnvConfig,
+    t: f64,
+    k: usize,
+    last_report: Option<IterationReport>,
+}
+
+impl FlFreqEnv {
+    /// Wraps a federated-learning system as an MDP.
+    pub fn new(sys: FlSystem, cfg: EnvConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(FlFreqEnv {
+            sys,
+            cfg,
+            t: 0.0,
+            k: 0,
+            last_report: None,
+        })
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &FlSystem {
+        &self.sys
+    }
+
+    /// The environment configuration.
+    pub fn env_config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time (s).
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Iteration index within the current episode.
+    pub fn iteration(&self) -> usize {
+        self.k
+    }
+
+    /// The report of the most recent iteration (None right after reset).
+    pub fn last_report(&self) -> Option<&IterationReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Squashes a raw action vector into per-device frequencies.
+    pub fn map_action(&self, raw: &[f64]) -> Vec<f64> {
+        self.sys
+            .devices()
+            .iter()
+            .zip(raw)
+            .map(|(d, &a)| squash_to_freq(a, d.delta_max_ghz, self.cfg.min_freq_frac))
+            .collect()
+    }
+
+    fn observe(&self) -> Result<Vec<f64>> {
+        Ok(self
+            .sys
+            .observe_bandwidth_state(self.t, self.cfg.slot_h, self.cfg.history_len)?)
+    }
+
+    /// Resets to a random start time, fallible version.
+    pub fn reset_at(&mut self, t_start: f64) -> Result<Vec<f64>> {
+        self.t = t_start;
+        self.k = 0;
+        self.last_report = None;
+        self.observe()
+    }
+
+    fn step_inner(&mut self, action: &[f64]) -> Result<Step> {
+        if action.len() != self.sys.num_devices() {
+            return Err(CtrlError::InvalidArgument(format!(
+                "expected {} action dims, got {}",
+                self.sys.num_devices(),
+                action.len()
+            )));
+        }
+        let freqs = self.map_action(action);
+        let report = self.sys.run_iteration(self.t, &freqs)?;
+        let reward = -report.cost(self.sys.config().lambda);
+        self.t = report.end_time();
+        self.k += 1;
+        self.last_report = Some(report);
+        let done = self.k >= self.cfg.episode_len;
+        Ok(Step {
+            obs: self.observe()?,
+            reward,
+            done,
+        })
+    }
+}
+
+impl Environment for FlFreqEnv {
+    fn obs_dim(&self) -> usize {
+        self.sys.num_devices() * (self.cfg.history_len + 1)
+    }
+
+    fn action_dim(&self) -> usize {
+        self.sys.num_devices()
+    }
+
+    fn reset(&mut self, rng: &mut ChaCha8Rng) -> fl_rl::Result<Vec<f64>> {
+        // Algorithm 1 line 6: random federated-learning start time.
+        let horizon = self.sys.traces().random_start_time(rng).max(0.0);
+        // Keep the start beyond the history window so early slots exist
+        // even on non-cyclic traces.
+        let t = horizon + self.cfg.slot_h * (self.cfg.history_len as f64 + 1.0);
+        self.reset_at(t)
+            .map_err(|e| fl_rl::RlError::Environment(e.to_string()))
+    }
+
+    fn step(&mut self, action: &[f64]) -> fl_rl::Result<Step> {
+        self.step_inner(action)
+            .map_err(|e| fl_rl::RlError::Environment(e.to_string()))
+    }
+}
+
+/// Builds a standard experiment system: `n_devices` sampled per the paper's
+/// Section V-A ranges, each assigned a random trace from `n_traces`
+/// generated with the given profile.
+pub fn build_system(
+    n_devices: usize,
+    n_traces: usize,
+    profile: fl_net::synth::Profile,
+    trace_slots: usize,
+    config: fl_sim::FlConfig,
+    rng: &mut impl Rng,
+) -> Result<FlSystem> {
+    build_system_with(
+        n_devices,
+        n_traces,
+        profile,
+        trace_slots,
+        config,
+        &fl_sim::DeviceSampler::default(),
+        rng,
+    )
+}
+
+/// [`build_system`] with an explicit device sampler (used when a scenario
+/// overrides the default parameter ranges — see `fl-bench`'s calibration
+/// notes in DESIGN.md/EXPERIMENTS.md).
+pub fn build_system_with(
+    n_devices: usize,
+    n_traces: usize,
+    profile: fl_net::synth::Profile,
+    trace_slots: usize,
+    config: fl_sim::FlConfig,
+    sampler: &fl_sim::DeviceSampler,
+    rng: &mut impl Rng,
+) -> Result<FlSystem> {
+    let traces = fl_net::TraceSet::from_profile(profile, n_traces, trace_slots, 1.0, rng)?;
+    let assignment = traces.assign(n_devices, rng);
+    let devices = sampler.sample_fleet(&assignment, rng);
+    Ok(FlSystem::new(devices, traces, config)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_net::synth::Profile;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn env(seed: u64) -> FlFreqEnv {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sys = build_system(
+            3,
+            3,
+            Profile::Walking4G,
+            1200,
+            fl_sim::FlConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        FlFreqEnv::new(sys, EnvConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = EnvConfig::default();
+        assert!(c.validate().is_ok());
+        c.slot_h = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = EnvConfig::default();
+        c.episode_len = 0;
+        assert!(c.validate().is_err());
+        let mut c = EnvConfig::default();
+        c.min_freq_frac = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn dims_match_paper_state_design() {
+        let e = env(0);
+        // N=3, H=8 → 3 * 9 = 27 state entries, 3 action dims.
+        assert_eq!(e.obs_dim(), 27);
+        assert_eq!(e.action_dim(), 3);
+    }
+
+    #[test]
+    fn squash_respects_bounds() {
+        for raw in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let f = squash_to_freq(raw, 2.0, 0.1);
+            assert!(f > 0.0 && f <= 2.0, "raw={raw} -> {f}");
+            assert!(f >= 0.2 - 1e-12, "floor violated: {f}");
+        }
+        // Extremes approach the bounds.
+        assert!((squash_to_freq(100.0, 2.0, 0.1) - 2.0).abs() < 1e-9);
+        assert!((squash_to_freq(-100.0, 2.0, 0.1) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_step_cycle() {
+        let mut e = env(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let obs = e.reset(&mut rng).unwrap();
+        assert_eq!(obs.len(), 27);
+        assert!(e.last_report().is_none());
+        let step = e.step(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(step.obs.len(), 27);
+        assert!(step.reward < 0.0, "cost is positive so reward is negative");
+        assert!(!step.done);
+        assert!(e.last_report().is_some());
+        assert_eq!(e.iteration(), 1);
+    }
+
+    #[test]
+    fn reward_equals_negative_cost() {
+        let mut e = env(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        e.reset(&mut rng).unwrap();
+        let step = e.step(&[0.5, -0.5, 0.0]).unwrap();
+        let lambda = e.system().config().lambda;
+        let report = e.last_report().unwrap();
+        assert!((step.reward + report.cost(lambda)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn episode_terminates_at_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let sys = build_system(
+            2,
+            2,
+            Profile::Walking4G,
+            1200,
+            fl_sim::FlConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let cfg = EnvConfig {
+            episode_len: 3,
+            ..EnvConfig::default()
+        };
+        let mut e = FlFreqEnv::new(sys, cfg).unwrap();
+        e.reset(&mut rng).unwrap();
+        assert!(!e.step(&[0.0, 0.0]).unwrap().done);
+        assert!(!e.step(&[0.0, 0.0]).unwrap().done);
+        assert!(e.step(&[0.0, 0.0]).unwrap().done);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut e = env(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        e.reset(&mut rng).unwrap();
+        assert!(e.step(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn time_advances_by_iteration_duration() {
+        let mut e = env(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        e.reset(&mut rng).unwrap();
+        let t0 = e.time();
+        e.step(&[0.0, 0.0, 0.0]).unwrap();
+        let report_duration = e.last_report().unwrap().duration;
+        assert!((e.time() - t0 - report_duration).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Squash output always lies in (min_frac·max, max].
+        #[test]
+        fn prop_squash_bounds(raw in -50.0f64..50.0, dmax in 0.5f64..4.0, frac in 0.01f64..0.9) {
+            let f = squash_to_freq(raw, dmax, frac);
+            prop_assert!(f >= frac * dmax - 1e-12);
+            prop_assert!(f <= dmax + 1e-12);
+        }
+
+        /// Squash is monotone in the raw action.
+        #[test]
+        fn prop_squash_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(
+                squash_to_freq(lo, 2.0, 0.1) <= squash_to_freq(hi, 2.0, 0.1) + 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Model-based per-iteration frequency optimization.
+//!
+//! Both baselines of Section V-A reduce to the same subproblem: *given*
+//! per-device bandwidth estimates `B_i` (so `t_com_i = ξ / B_i` is a fixed
+//! number), choose frequencies minimizing the single-iteration cost
+//!
+//! ```text
+//! C(δ) = max_i (τ c_i D_i / δ_i + t_com_i)  +  λ Σ_i (α_i τ c_i D_i δ_i² + e_i t_com_i)
+//! ```
+//!
+//! The structure makes this one-dimensional: for any iteration deadline `T`,
+//! energy is minimized by running each device at the *slowest* feasible
+//! frequency `δ_i(T) = w_i / (T − t_com_i)` (clamped to its range) — running
+//! faster only burns energy into idle time (the Fig. 3 observation). The
+//! outer search over `T` is a coarse grid plus golden-section refinement;
+//! tests cross-check it against brute force.
+
+use crate::{CtrlError, Result};
+use fl_sim::MobileDevice;
+use serde::{Deserialize, Serialize};
+
+/// Result of a frequency optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqPlan {
+    /// Chosen per-device frequencies (GHz).
+    pub freqs: Vec<f64>,
+    /// The deadline `T` the plan targets (s).
+    pub deadline: f64,
+    /// Model-predicted cost at that deadline.
+    pub predicted_cost: f64,
+}
+
+/// Inputs the solver needs besides the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverParams {
+    /// `τ`: local passes per iteration.
+    pub tau: u32,
+    /// `ξ`: model size (MB).
+    pub model_size_mb: f64,
+    /// `λ`: energy weight.
+    pub lambda: f64,
+    /// Frequency floor as a fraction of each device's `δ_max`.
+    pub min_freq_frac: f64,
+}
+
+/// Floor for bandwidth estimates (MB/s), preventing division blow-ups when
+/// an estimate is zero (e.g. an on–off trace caught in an outage).
+const MIN_BANDWIDTH: f64 = 1e-3;
+
+/// Grid resolution of the outer deadline search.
+const GRID_POINTS: usize = 96;
+/// Golden-section refinement iterations.
+const GOLDEN_ITERS: usize = 48;
+
+/// Evaluates the model cost and per-device frequencies for a deadline `T`.
+fn plan_for_deadline(
+    devices: &[MobileDevice],
+    params: &SolverParams,
+    t_com: &[f64],
+    deadline: f64,
+) -> (Vec<f64>, f64) {
+    let mut duration: f64 = 0.0;
+    let mut energy = 0.0;
+    let mut freqs = Vec::with_capacity(devices.len());
+    for (d, &tc) in devices.iter().zip(t_com) {
+        let w = params.tau as f64 * d.gcycles_per_pass();
+        let d_min = params.min_freq_frac * d.delta_max_ghz;
+        let budget = deadline - tc;
+        let needed = if budget > 1e-12 { w / budget } else { f64::INFINITY };
+        let freq = needed.clamp(d_min, d.delta_max_ghz);
+        let total = w / freq + tc;
+        duration = duration.max(total);
+        energy += d.alpha * w * freq * freq + d.tx_power_w * tc;
+        freqs.push(freq);
+    }
+    (freqs, duration + params.lambda * energy)
+}
+
+/// Finds the frequency plan minimizing the model cost for fixed bandwidth
+/// estimates `bandwidth_mbs` (MB/s per device).
+pub fn optimize_frequencies(
+    devices: &[MobileDevice],
+    params: &SolverParams,
+    bandwidth_mbs: &[f64],
+) -> Result<FreqPlan> {
+    if devices.is_empty() {
+        return Err(CtrlError::InvalidArgument(
+            "solver needs at least one device".to_string(),
+        ));
+    }
+    if bandwidth_mbs.len() != devices.len() {
+        return Err(CtrlError::InvalidArgument(format!(
+            "expected {} bandwidth estimates, got {}",
+            devices.len(),
+            bandwidth_mbs.len()
+        )));
+    }
+    if !(params.min_freq_frac > 0.0 && params.min_freq_frac <= 1.0) {
+        return Err(CtrlError::InvalidArgument(format!(
+            "min_freq_frac must be in (0, 1], got {}",
+            params.min_freq_frac
+        )));
+    }
+    if !(params.lambda >= 0.0) || !(params.model_size_mb > 0.0) || params.tau == 0 {
+        return Err(CtrlError::InvalidArgument(
+            "need lambda >= 0, model_size_mb > 0, tau >= 1".to_string(),
+        ));
+    }
+    let t_com: Vec<f64> = bandwidth_mbs
+        .iter()
+        .map(|&b| params.model_size_mb / b.max(MIN_BANDWIDTH))
+        .collect();
+
+    // Deadline range: everything at full speed .. everything at the floor.
+    let mut t_lo: f64 = 0.0;
+    let mut t_hi: f64 = 0.0;
+    for (d, &tc) in devices.iter().zip(&t_com) {
+        let w = params.tau as f64 * d.gcycles_per_pass();
+        t_lo = t_lo.max(w / d.delta_max_ghz + tc);
+        t_hi = t_hi.max(w / (params.min_freq_frac * d.delta_max_ghz) + tc);
+    }
+    if t_hi <= t_lo {
+        let (freqs, cost) = plan_for_deadline(devices, params, &t_com, t_lo);
+        return Ok(FreqPlan {
+            freqs,
+            deadline: t_lo,
+            predicted_cost: cost,
+        });
+    }
+
+    // Coarse grid.
+    let cost_at = |t: f64| plan_for_deadline(devices, params, &t_com, t).1;
+    let mut best_i = 0;
+    let mut best_cost = f64::INFINITY;
+    for i in 0..GRID_POINTS {
+        let t = t_lo + (t_hi - t_lo) * i as f64 / (GRID_POINTS - 1) as f64;
+        let c = cost_at(t);
+        if c < best_cost {
+            best_cost = c;
+            best_i = i;
+        }
+    }
+    // Golden-section refinement in the bracket around the best grid point.
+    let step = (t_hi - t_lo) / (GRID_POINTS - 1) as f64;
+    let mut a = t_lo + step * best_i.saturating_sub(1) as f64;
+    let mut b = (t_lo + step * (best_i + 1) as f64).min(t_hi);
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = b - PHI * (b - a);
+    let mut x2 = a + PHI * (b - a);
+    let mut f1 = cost_at(x1);
+    let mut f2 = cost_at(x2);
+    for _ in 0..GOLDEN_ITERS {
+        if f1 <= f2 {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - PHI * (b - a);
+            f1 = cost_at(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + PHI * (b - a);
+            f2 = cost_at(x2);
+        }
+    }
+    let t_star = if f1 <= f2 { x1 } else { x2 };
+    let (freqs, cost) = plan_for_deadline(devices, params, &t_com, t_star);
+    // Keep whichever of grid-best / refined is better (the cost curve can
+    // have flat kinks where golden-section stalls).
+    let t_grid = t_lo + step * best_i as f64;
+    let (freqs_g, cost_g) = plan_for_deadline(devices, params, &t_com, t_grid);
+    if cost_g < cost {
+        Ok(FreqPlan {
+            freqs: freqs_g,
+            deadline: t_grid,
+            predicted_cost: cost_g,
+        })
+    } else {
+        Ok(FreqPlan {
+            freqs,
+            deadline: t_star,
+            predicted_cost: cost,
+        })
+    }
+}
+
+/// Evaluates the model cost of an arbitrary frequency vector under fixed
+/// bandwidth estimates — the objective the solver minimizes. Public so
+/// tests and ablations can score alternative plans.
+pub fn model_cost(
+    devices: &[MobileDevice],
+    params: &SolverParams,
+    bandwidth_mbs: &[f64],
+    freqs: &[f64],
+) -> Result<f64> {
+    if freqs.len() != devices.len() || bandwidth_mbs.len() != devices.len() {
+        return Err(CtrlError::InvalidArgument(
+            "model_cost arity mismatch".to_string(),
+        ));
+    }
+    let mut duration: f64 = 0.0;
+    let mut energy = 0.0;
+    for ((d, &b), &f) in devices.iter().zip(bandwidth_mbs).zip(freqs) {
+        if !(f > 0.0) {
+            return Err(CtrlError::InvalidArgument(format!(
+                "frequency must be positive, got {f}"
+            )));
+        }
+        let w = params.tau as f64 * d.gcycles_per_pass();
+        let tc = params.model_size_mb / b.max(MIN_BANDWIDTH);
+        duration = duration.max(w / f + tc);
+        energy += d.alpha * w * f * f + d.tx_power_w * tc;
+    }
+    Ok(duration + params.lambda * energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_sim::DeviceSampler;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> SolverParams {
+        SolverParams {
+            tau: 1,
+            model_size_mb: 10.0,
+            lambda: 0.25,
+            min_freq_frac: 0.1,
+        }
+    }
+
+    fn fleet(n: usize, seed: u64) -> Vec<MobileDevice> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DeviceSampler::default().sample_fleet(&vec![0; n], &mut rng)
+    }
+
+    #[test]
+    fn validation() {
+        let devs = fleet(2, 0);
+        assert!(optimize_frequencies(&[], &params(), &[]).is_err());
+        assert!(optimize_frequencies(&devs, &params(), &[1.0]).is_err());
+        let mut p = params();
+        p.min_freq_frac = 0.0;
+        assert!(optimize_frequencies(&devs, &p, &[1.0, 1.0]).is_err());
+        let mut p = params();
+        p.tau = 0;
+        assert!(optimize_frequencies(&devs, &p, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn single_device_tradeoff() {
+        // With one device the optimum balances T against λ·α·w·δ²:
+        // minimize w/δ + tc + λ(αwδ² + e·tc) → dC/dδ = −w/δ² + 2λαwδ = 0
+        // → δ* = (1/(2λα))^(1/3), clamped.
+        let d = MobileDevice {
+            id: 0,
+            cycles_per_bit: 20.0,
+            data_mb: 62.5, // w = 10 Gcycles
+            alpha: 0.1,
+            delta_max_ghz: 2.0,
+            tx_power_w: 0.2,
+            trace_idx: 0,
+        };
+        let p = params();
+        let plan = optimize_frequencies(&[d.clone()], &p, &[5.0]).unwrap();
+        let expected = (1.0 / (2.0 * p.lambda * d.alpha)).powf(1.0 / 3.0).min(2.0);
+        assert!(
+            (plan.freqs[0] - expected).abs() < 0.02,
+            "got {}, expected {expected}",
+            plan.freqs[0]
+        );
+    }
+
+    #[test]
+    fn solver_beats_max_freq_when_energy_matters() {
+        let devs = fleet(3, 1);
+        let p = params();
+        let bw = [3.0, 5.0, 1.5];
+        let plan = optimize_frequencies(&devs, &p, &bw).unwrap();
+        let max_freqs: Vec<f64> = devs.iter().map(|d| d.delta_max_ghz).collect();
+        let max_cost = model_cost(&devs, &p, &bw, &max_freqs).unwrap();
+        assert!(plan.predicted_cost <= max_cost + 1e-9);
+        // Frequencies respect bounds.
+        for (d, &f) in devs.iter().zip(&plan.freqs) {
+            assert!(f >= 0.1 * d.delta_max_ghz - 1e-12);
+            assert!(f <= d.delta_max_ghz + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fast_network_lets_straggler_dominate() {
+        // Device 0 has terrible bandwidth; others should slow down to meet
+        // (not beat) its finish time.
+        let devs = fleet(3, 2);
+        let p = params();
+        let plan = optimize_frequencies(&devs, &p, &[0.2, 8.0, 8.0]).unwrap();
+        // The straggler runs at (or near) max; the others below their max.
+        let straggler_frac = plan.freqs[0] / devs[0].delta_max_ghz;
+        assert!(straggler_frac > 0.9, "straggler at {straggler_frac} of max");
+        assert!(plan.freqs[1] < devs[1].delta_max_ghz * 0.9);
+        assert!(plan.freqs[2] < devs[2].delta_max_ghz * 0.9);
+    }
+
+    #[test]
+    fn zero_bandwidth_estimate_does_not_explode() {
+        let devs = fleet(2, 3);
+        let plan = optimize_frequencies(&devs, &params(), &[0.0, 5.0]).unwrap();
+        assert!(plan.predicted_cost.is_finite());
+        assert!(plan.freqs.iter().all(|f| f.is_finite() && *f > 0.0));
+    }
+
+    #[test]
+    fn lambda_zero_runs_everything_fast_enough() {
+        // With no energy penalty the optimum is the fastest finish: the
+        // straggler must run at max.
+        let devs = fleet(4, 4);
+        let mut p = params();
+        p.lambda = 0.0;
+        let bw = [2.0, 2.0, 2.0, 2.0];
+        let plan = optimize_frequencies(&devs, &p, &bw).unwrap();
+        let max_freqs: Vec<f64> = devs.iter().map(|d| d.delta_max_ghz).collect();
+        let best_possible = model_cost(&devs, &p, &bw, &max_freqs).unwrap();
+        assert!((plan.predicted_cost - best_possible).abs() < 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The solver is never beaten by brute force over a frequency grid.
+        #[test]
+        fn prop_solver_within_brute_force(seed in 0u64..200) {
+            use rand::Rng;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(1..4usize);
+            let devs = fleet(n, seed.wrapping_add(1000));
+            let p = params();
+            let bw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.3..8.0)).collect();
+            let plan = optimize_frequencies(&devs, &p, &bw).unwrap();
+
+            // Brute force over per-device grids (coarse, so allow tolerance).
+            let grid: Vec<Vec<f64>> = devs
+                .iter()
+                .map(|d| {
+                    (1..=12)
+                        .map(|i| 0.1 * d.delta_max_ghz + (0.9 * d.delta_max_ghz) * i as f64 / 12.0)
+                        .collect()
+                })
+                .collect();
+            let mut best = f64::INFINITY;
+            let mut idx = vec![0usize; n];
+            loop {
+                let freqs: Vec<f64> = idx.iter().zip(&grid).map(|(&i, g)| g[i]).collect();
+                let c = model_cost(&devs, &p, &bw, &freqs).unwrap();
+                best = best.min(c);
+                // Odometer increment.
+                let mut carry = true;
+                for (i, g) in idx.iter_mut().zip(&grid) {
+                    if carry {
+                        *i += 1;
+                        if *i >= g.len() {
+                            *i = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+            prop_assert!(
+                plan.predicted_cost <= best + 0.02 * best.abs(),
+                "solver {} vs brute force {}",
+                plan.predicted_cost,
+                best
+            );
+        }
+
+        /// Predicted cost equals model_cost of the returned frequencies.
+        #[test]
+        fn prop_plan_self_consistent(seed in 0u64..100) {
+            use rand::Rng;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(1..5usize);
+            let devs = fleet(n, seed);
+            let p = params();
+            let bw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.3..8.0)).collect();
+            let plan = optimize_frequencies(&devs, &p, &bw).unwrap();
+            let c = model_cost(&devs, &p, &bw, &plan.freqs).unwrap();
+            prop_assert!((c - plan.predicted_cost).abs() < 1e-9);
+        }
+    }
+}

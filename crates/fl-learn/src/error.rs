@@ -1,0 +1,72 @@
+//! Error type for the fl-learn crate.
+
+use std::fmt;
+
+/// Errors raised by the federated-learning loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// A configuration or dataset argument was invalid.
+    InvalidArgument(String),
+    /// A numeric failure surfaced from the NN substrate.
+    Nn(fl_nn::NnError),
+    /// The loss threshold was not reached within the round budget.
+    DidNotConverge {
+        /// Rounds executed.
+        rounds: usize,
+        /// Final global loss.
+        final_loss: f64,
+        /// Target threshold ε.
+        epsilon: f64,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LearnError::Nn(e) => write!(f, "nn error: {e}"),
+            LearnError::DidNotConverge {
+                rounds,
+                final_loss,
+                epsilon,
+            } => write!(
+                f,
+                "did not reach F(w) < {epsilon} within {rounds} rounds (final loss {final_loss})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LearnError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fl_nn::NnError> for LearnError {
+    fn from(e: fl_nn::NnError) -> Self {
+        LearnError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LearnError::DidNotConverge {
+            rounds: 10,
+            final_loss: 0.5,
+            epsilon: 0.1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("0.5"));
+        let n: LearnError = fl_nn::NnError::InvalidArgument("z".into()).into();
+        assert!(n.to_string().contains("z"));
+    }
+}

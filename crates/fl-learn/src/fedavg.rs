@@ -1,0 +1,429 @@
+//! The FedAvg parameter server.
+
+use crate::local::LocalTrainer;
+use crate::{LabeledData, LearnError, Result};
+use fl_nn::Mlp;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Server-side FedAvg configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgConfig {
+    /// Local optimization settings applied on every device.
+    pub local: LocalTrainer,
+    /// Run device updates on parallel threads (one per device). Determinism
+    /// is preserved either way: each device gets a seed drawn from the
+    /// caller's RNG *before* the fan-out, and aggregation order is fixed.
+    pub parallel: bool,
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        FedAvgConfig {
+            local: LocalTrainer::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// Metrics from one federated round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Global loss `F(ω)` (Eq. 8) after aggregation.
+    pub global_loss: f64,
+    /// Mean of the devices' final local losses.
+    pub mean_local_loss: f64,
+    /// `D_n`-weighted global accuracy after aggregation.
+    pub accuracy: f64,
+}
+
+/// The parameter server: owns the global model `ω` and performs
+/// broadcast → local training → `D_n`-weighted averaging each iteration
+/// (the Fig. 1 workflow).
+#[derive(Debug, Clone)]
+pub struct FedAvg {
+    global: Mlp,
+    config: FedAvgConfig,
+}
+
+impl FedAvg {
+    /// Wraps an initial global model.
+    pub fn new(global: Mlp, config: FedAvgConfig) -> Result<Self> {
+        config.local.validate()?;
+        Ok(FedAvg { global, config })
+    }
+
+    /// The current global model.
+    pub fn global(&self) -> &Mlp {
+        &self.global
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FedAvgConfig {
+        &self.config
+    }
+
+    /// Runs one federated iteration over the device shards and returns the
+    /// post-aggregation metrics.
+    pub fn round(&mut self, shards: &[LabeledData], rng: &mut ChaCha8Rng) -> Result<RoundReport> {
+        let all: Vec<usize> = (0..shards.len()).collect();
+        self.round_with_participants(shards, &all, rng)
+    }
+
+    /// One round with *client selection*: only the devices in
+    /// `participants` train and contribute to the average (the partial
+    /// participation of McMahan et al. / the resource-aware selection of
+    /// Nishio & Yonetani, which the paper cites as complementary work).
+    /// The global loss/accuracy are still measured over **all** shards.
+    pub fn round_with_participants(
+        &mut self,
+        shards: &[LabeledData],
+        participants: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<RoundReport> {
+        if participants.is_empty() {
+            return Err(LearnError::InvalidArgument(
+                "need at least one participating device".to_string(),
+            ));
+        }
+        let mut seen = vec![false; shards.len()];
+        for &p in participants {
+            if p >= shards.len() {
+                return Err(LearnError::InvalidArgument(format!(
+                    "participant {p} out of range for {} shards",
+                    shards.len()
+                )));
+            }
+            if std::mem::replace(&mut seen[p], true) {
+                return Err(LearnError::InvalidArgument(format!(
+                    "participant {p} listed twice"
+                )));
+            }
+        }
+        let selected: Vec<LabeledData> = participants
+            .iter()
+            .map(|&p| shards[p].clone())
+            .collect();
+        let report = self.round_inner(&selected, rng)?;
+        // Re-measure quality over the full population (non-participants'
+        // data still counts toward Eq. 8).
+        Ok(RoundReport {
+            global_loss: self.global_loss(shards)?,
+            accuracy: self.global_accuracy(shards)?,
+            ..report
+        })
+    }
+
+    /// Samples `count` participants uniformly without replacement and runs
+    /// a round with them.
+    pub fn round_with_sampling(
+        &mut self,
+        shards: &[LabeledData],
+        count: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<RoundReport> {
+        if count == 0 || count > shards.len() {
+            return Err(LearnError::InvalidArgument(format!(
+                "cannot sample {count} of {} devices",
+                shards.len()
+            )));
+        }
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..shards.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(count);
+        self.round_with_participants(shards, &idx, rng)
+    }
+
+    #[allow(clippy::type_complexity)] // one-off result-collection vector
+    fn round_inner(&mut self, shards: &[LabeledData], rng: &mut ChaCha8Rng) -> Result<RoundReport> {
+        if shards.is_empty() {
+            return Err(LearnError::InvalidArgument(
+                "need at least one device shard".to_string(),
+            ));
+        }
+        if shards.iter().any(LabeledData::is_empty) {
+            return Err(LearnError::InvalidArgument(
+                "every shard must be non-empty".to_string(),
+            ));
+        }
+        // Draw per-device seeds up front so parallel and serial execution
+        // produce identical results.
+        let seeds: Vec<u64> = shards.iter().map(|_| rng.gen()).collect();
+        let trainer = self.config.local;
+        let global = &self.global;
+
+        let results: Vec<Result<(Vec<f64>, f64)>> = if self.config.parallel && shards.len() > 1 {
+            let mut slots: Vec<Option<Result<(Vec<f64>, f64)>>> = Vec::new();
+            slots.resize_with(shards.len(), || None);
+            crossbeam::thread::scope(|scope| {
+                for ((shard, seed), slot) in
+                    shards.iter().zip(&seeds).zip(slots.iter_mut())
+                {
+                    scope.spawn(move |_| {
+                        *slot = Some(Self::local_update(global, trainer, shard, *seed));
+                    });
+                }
+            })
+            .expect("local training thread panicked");
+            slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled by its thread"))
+                .collect()
+        } else {
+            shards
+                .iter()
+                .zip(&seeds)
+                .map(|(shard, seed)| Self::local_update(global, trainer, shard, *seed))
+                .collect()
+        };
+
+        // D_n-weighted parameter average (the weighting of Eq. 8).
+        let total: f64 = shards.iter().map(|s| s.len() as f64).sum();
+        let mut aggregated = vec![0.0; self.global.num_params()];
+        let mut local_loss_sum = 0.0;
+        for (shard, result) in shards.iter().zip(results) {
+            let (params, local_loss) = result?;
+            let w = shard.len() as f64 / total;
+            for (agg, p) in aggregated.iter_mut().zip(&params) {
+                *agg += w * p;
+            }
+            local_loss_sum += local_loss;
+        }
+        self.global.import_params(&aggregated)?;
+
+        Ok(RoundReport {
+            global_loss: self.global_loss(shards)?,
+            mean_local_loss: local_loss_sum / shards.len() as f64,
+            accuracy: self.global_accuracy(shards)?,
+        })
+    }
+
+    /// One device's contribution: clone the global model, train locally,
+    /// return the updated parameters and final local loss.
+    fn local_update(
+        global: &Mlp,
+        trainer: LocalTrainer,
+        shard: &LabeledData,
+        seed: u64,
+    ) -> Result<(Vec<f64>, f64)> {
+        let mut local = global.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let local_loss = trainer.train(&mut local, shard, &mut rng)?;
+        Ok((local.export_params(), local_loss))
+    }
+
+    /// Eq. (8): the `D_n`-weighted global loss over all shards.
+    pub fn global_loss(&self, shards: &[LabeledData]) -> Result<f64> {
+        let total: f64 = shards.iter().map(|s| s.len() as f64).sum();
+        if total == 0.0 {
+            return Err(LearnError::InvalidArgument(
+                "global loss over zero samples".to_string(),
+            ));
+        }
+        let mut acc = 0.0;
+        for s in shards {
+            acc += s.len() as f64 * self.config.local.evaluate_loss(&self.global, s)?;
+        }
+        Ok(acc / total)
+    }
+
+    /// `D_n`-weighted global accuracy.
+    pub fn global_accuracy(&self, shards: &[LabeledData]) -> Result<f64> {
+        let total: f64 = shards.iter().map(|s| s.len() as f64).sum();
+        if total == 0.0 {
+            return Err(LearnError::InvalidArgument(
+                "accuracy over zero samples".to_string(),
+            ));
+        }
+        let mut acc = 0.0;
+        for s in shards {
+            acc += s.len() as f64 * self.config.local.evaluate_accuracy(&self.global, s)?;
+        }
+        Ok(acc / total)
+    }
+
+    /// Constraint (10): trains until `F(ω) < ε` or the round budget runs
+    /// out (error in the latter case, reporting the final loss). Returns
+    /// the per-round reports.
+    pub fn train_until(
+        &mut self,
+        shards: &[LabeledData],
+        epsilon: f64,
+        max_rounds: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Vec<RoundReport>> {
+        if !(epsilon > 0.0) {
+            return Err(LearnError::InvalidArgument(
+                "epsilon must be positive".to_string(),
+            ));
+        }
+        let mut reports = Vec::new();
+        for _ in 0..max_rounds {
+            let r = self.round(shards, rng)?;
+            let done = r.global_loss < epsilon;
+            reports.push(r);
+            if done {
+                return Ok(reports);
+            }
+        }
+        Err(LearnError::DidNotConverge {
+            rounds: max_rounds,
+            final_loss: reports.last().map(|r| r.global_loss).unwrap_or(f64::NAN),
+            epsilon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{gaussian_blobs, split_non_iid};
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn setup(seed: u64, n: usize, devices: usize, skew: f64) -> (FedAvg, Vec<LabeledData>) {
+        let mut r = rng(seed);
+        let data = gaussian_blobs(n, 2, 5.0, &mut r).unwrap();
+        let shards = split_non_iid(&data, devices, skew, &mut r).unwrap();
+        let model = LocalTrainer::default_model(2, &mut r).unwrap();
+        let fed = FedAvg::new(model, FedAvgConfig::default()).unwrap();
+        (fed, shards)
+    }
+
+    #[test]
+    fn round_reduces_global_loss() {
+        let (mut fed, shards) = setup(0, 300, 3, 0.0);
+        let before = fed.global_loss(&shards).unwrap();
+        let mut r = rng(1);
+        let report = fed.round(&shards, &mut r).unwrap();
+        assert!(report.global_loss < before);
+        assert!(report.accuracy > 0.5);
+    }
+
+    #[test]
+    fn converges_on_separable_data() {
+        let (mut fed, shards) = setup(2, 300, 3, 0.0);
+        let mut r = rng(3);
+        let reports = fed.train_until(&shards, 0.1, 30, &mut r).unwrap();
+        assert!(reports.last().unwrap().global_loss < 0.1);
+        assert!(reports.last().unwrap().accuracy > 0.95);
+        // Loss is (weakly) trending down: final < first.
+        assert!(reports.last().unwrap().global_loss < reports[0].global_loss);
+    }
+
+    #[test]
+    fn handles_non_iid_shards() {
+        let (mut fed, shards) = setup(4, 400, 4, 1.0);
+        let mut r = rng(5);
+        // Fully skewed shards: still learns, if slower.
+        for _ in 0..15 {
+            fed.round(&shards, &mut r).unwrap();
+        }
+        let acc = fed.global_accuracy(&shards).unwrap();
+        assert!(acc > 0.8, "non-IID accuracy {acc}");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (fed_template, shards) = setup(6, 200, 4, 0.3);
+        let mut fed_par = fed_template.clone();
+        let mut fed_ser = fed_template.clone();
+        fed_par.config.parallel = true;
+        fed_ser.config.parallel = false;
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        let rp = fed_par.round(&shards, &mut r1).unwrap();
+        let rs = fed_ser.round(&shards, &mut r2).unwrap();
+        assert_eq!(
+            fed_par.global().export_params(),
+            fed_ser.global().export_params()
+        );
+        assert_eq!(rp, rs);
+    }
+
+    #[test]
+    fn aggregation_weights_by_shard_size() {
+        // Two shards of very different sizes; with zero local epochs we
+        // cannot test directly, so instead: train where one shard dominates
+        // and verify the global model tracks the dominant shard's loss.
+        let mut r = rng(8);
+        let data = gaussian_blobs(330, 2, 5.0, &mut r).unwrap();
+        let big = data.subset(&(0..300).collect::<Vec<_>>()).unwrap();
+        let small = data.subset(&(300..330).collect::<Vec<_>>()).unwrap();
+        let model = LocalTrainer::default_model(2, &mut r).unwrap();
+        let mut fed = FedAvg::new(model, FedAvgConfig::default()).unwrap();
+        let shards = vec![big.clone(), small];
+        for _ in 0..5 {
+            fed.round(&shards, &mut r).unwrap();
+        }
+        let big_loss = LocalTrainer::default().evaluate_loss(fed.global(), &big).unwrap();
+        assert!(big_loss < 0.2, "dominant shard poorly fit: {big_loss}");
+    }
+
+    #[test]
+    fn partial_participation_round() {
+        let (mut fed, shards) = setup(20, 400, 4, 0.0);
+        let mut r = rng(21);
+        // Only devices 0 and 2 train; quality measured over everyone.
+        let before = fed.global_loss(&shards).unwrap();
+        let report = fed
+            .round_with_participants(&shards, &[0, 2], &mut r)
+            .unwrap();
+        assert!(report.global_loss < before);
+        // Validation.
+        assert!(fed.round_with_participants(&shards, &[], &mut r).is_err());
+        assert!(fed.round_with_participants(&shards, &[9], &mut r).is_err());
+        assert!(fed
+            .round_with_participants(&shards, &[1, 1], &mut r)
+            .is_err());
+    }
+
+    #[test]
+    fn sampled_participation_converges() {
+        let (mut fed, shards) = setup(22, 400, 5, 0.0);
+        let mut r = rng(23);
+        for _ in 0..20 {
+            fed.round_with_sampling(&shards, 2, &mut r).unwrap();
+        }
+        let acc = fed.global_accuracy(&shards).unwrap();
+        assert!(acc > 0.9, "accuracy with 2/5 participation: {acc}");
+        assert!(fed.round_with_sampling(&shards, 0, &mut r).is_err());
+        assert!(fed.round_with_sampling(&shards, 6, &mut r).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (mut fed, shards) = setup(9, 100, 2, 0.0);
+        let mut r = rng(10);
+        assert!(fed.round(&[], &mut r).is_err());
+        let empty = shards[0].subset(&[]).unwrap();
+        assert!(fed.round(&[empty], &mut r).is_err());
+        assert!(fed.train_until(&shards, 0.0, 5, &mut r).is_err());
+        assert!(fed.global_loss(&[]).is_err());
+    }
+
+    #[test]
+    fn train_until_reports_non_convergence() {
+        let (mut fed, shards) = setup(11, 100, 2, 0.0);
+        let mut r = rng(12);
+        // Impossible threshold within 1 round.
+        let err = fed.train_until(&shards, 1e-12, 1, &mut r).unwrap_err();
+        assert!(matches!(err, LearnError::DidNotConverge { rounds: 1, .. }));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let (mut fed, shards) = setup(13, 120, 3, 0.2);
+            let mut r = rng(seed);
+            fed.round(&shards, &mut r).unwrap();
+            fed.global().export_params()
+        };
+        assert_eq!(run(14), run(14));
+        assert_ne!(run(14), run(15));
+    }
+}

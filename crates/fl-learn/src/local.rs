@@ -1,0 +1,358 @@
+//! Local training on one device's shard.
+
+use crate::{LabeledData, LearnError, Result};
+use fl_nn::{loss, Adam, Matrix, Mlp, Optimizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the federated model is learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Binary classification: sigmoid head, binary cross-entropy, labels
+    /// in `{0, 1}` stored directly in the `y` column.
+    Binary,
+    /// `k`-way classification: linear (logit) head of width `k`, softmax
+    /// cross-entropy, class indices `0..k` stored in the `y` column.
+    Multiclass(usize),
+}
+
+/// Configuration of one device's local optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainer {
+    /// `τ`: passes over the local data per federated iteration.
+    pub epochs: u32,
+    /// Minibatch size (clamped to the shard size).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Loss/label convention.
+    pub objective: Objective,
+}
+
+impl Default for LocalTrainer {
+    fn default() -> Self {
+        LocalTrainer {
+            epochs: 1,
+            batch_size: 32,
+            lr: 0.01,
+            objective: Objective::Binary,
+        }
+    }
+}
+
+impl LocalTrainer {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(LearnError::InvalidArgument(
+                "epochs and batch_size must be nonzero".to_string(),
+            ));
+        }
+        if !(self.lr > 0.0) || !self.lr.is_finite() {
+            return Err(LearnError::InvalidArgument(format!(
+                "lr must be positive and finite, got {}",
+                self.lr
+            )));
+        }
+        if let Objective::Multiclass(k) = self.objective {
+            if k < 2 {
+                return Err(LearnError::InvalidArgument(
+                    "multiclass needs at least 2 classes".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the model head matches the objective.
+    fn check_model(&self, model: &Mlp) -> Result<()> {
+        let want = match self.objective {
+            Objective::Binary => 1,
+            Objective::Multiclass(k) => k,
+        };
+        if model.out_dim() != want {
+            return Err(LearnError::InvalidArgument(format!(
+                "model head width {} does not match objective ({want} expected)",
+                model.out_dim()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Converts a label batch into loss targets.
+    fn targets(&self, yb: &Matrix) -> Result<Matrix> {
+        match self.objective {
+            Objective::Binary => Ok(yb.clone()),
+            Objective::Multiclass(k) => {
+                let labels: Vec<usize> = yb
+                    .data()
+                    .iter()
+                    .map(|&v| {
+                        let c = v.round();
+                        if c < 0.0 || c >= k as f64 || (v - c).abs() > 1e-9 {
+                            Err(LearnError::InvalidArgument(format!(
+                                "label {v} invalid for {k}-way classification"
+                            )))
+                        } else {
+                            Ok(c as usize)
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(loss::one_hot(&labels, k)?)
+            }
+        }
+    }
+
+    /// Loss + gradient for the objective on a prediction batch.
+    fn loss_and_grad(&self, pred: &Matrix, targets: &Matrix) -> Result<(f64, Matrix)> {
+        match self.objective {
+            Objective::Binary => Ok(loss::binary_cross_entropy(pred, targets)?),
+            Objective::Multiclass(_) => Ok(loss::softmax_cross_entropy(pred, targets)?),
+        }
+    }
+
+    /// Runs `τ` epochs of minibatch Adam on `model`. Returns the mean
+    /// minibatch loss of the final epoch.
+    pub fn train(
+        &self,
+        model: &mut Mlp,
+        data: &LabeledData,
+        rng: &mut impl Rng,
+    ) -> Result<f64> {
+        self.validate()?;
+        self.check_model(model)?;
+        if data.is_empty() {
+            return Err(LearnError::InvalidArgument(
+                "cannot train on an empty shard".to_string(),
+            ));
+        }
+        let mut opt = Adam::new(model.num_params(), self.lr);
+        let bs = self.batch_size.min(data.len());
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let mut last_epoch_loss = 0.0;
+        for _ in 0..self.epochs {
+            indices.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in indices.chunks(bs) {
+                let xb = data.x.gather_rows(chunk)?;
+                let yb = data.y.gather_rows(chunk)?;
+                let targets = self.targets(&yb)?;
+                let pred = model.try_forward(&xb)?;
+                let (l, dl) = self.loss_and_grad(&pred, &targets)?;
+                model.zero_grad();
+                model.backward(&dl)?;
+                opt.step(model);
+                epoch_loss += l;
+                batches += 1;
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f64;
+        }
+        Ok(last_epoch_loss)
+    }
+
+    /// Eq. (7): mean per-sample loss of `model` on a shard, without
+    /// touching gradients.
+    pub fn evaluate_loss(&self, model: &Mlp, data: &LabeledData) -> Result<f64> {
+        self.check_model(model)?;
+        if data.is_empty() {
+            return Err(LearnError::InvalidArgument(
+                "cannot evaluate an empty shard".to_string(),
+            ));
+        }
+        let pred = model.infer(&data.x)?;
+        let targets = self.targets(&data.y)?;
+        let (l, _) = self.loss_and_grad(&pred, &targets)?;
+        Ok(l)
+    }
+
+    /// Classification accuracy of `model` on a shard (0.5 threshold for
+    /// binary, argmax for multiclass).
+    pub fn evaluate_accuracy(&self, model: &Mlp, data: &LabeledData) -> Result<f64> {
+        self.check_model(model)?;
+        if data.is_empty() {
+            return Err(LearnError::InvalidArgument(
+                "cannot evaluate an empty shard".to_string(),
+            ));
+        }
+        let pred = model.infer(&data.x)?;
+        let correct = match self.objective {
+            Objective::Binary => pred
+                .data()
+                .iter()
+                .zip(data.y.data())
+                .filter(|(&p, &y)| (p >= 0.5) == (y >= 0.5))
+                .count(),
+            Objective::Multiclass(_) => (0..pred.rows())
+                .filter(|&i| {
+                    let row = pred.row(i);
+                    let argmax = row
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                        .map(|(j, _)| j)
+                        .expect("non-empty row");
+                    argmax as f64 == data.y.get(i, 0).round()
+                })
+                .count(),
+        };
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// The default binary model: `dim → 16 → 16 → 1`, tanh hidden, sigmoid
+    /// head.
+    pub fn default_model(dim: usize, rng: &mut impl Rng) -> Result<Mlp> {
+        Ok(Mlp::try_new(
+            &[dim, 16, 16, 1],
+            fl_nn::Activation::Tanh,
+            fl_nn::Activation::Sigmoid,
+            rng,
+        )?)
+    }
+
+    /// The default `k`-way model: `dim → 16 → 16 → k`, tanh hidden, linear
+    /// logit head (pair with [`Objective::Multiclass`]).
+    pub fn multiclass_model(dim: usize, classes: usize, rng: &mut impl Rng) -> Result<Mlp> {
+        if classes < 2 {
+            return Err(LearnError::InvalidArgument(
+                "multiclass needs at least 2 classes".to_string(),
+            ));
+        }
+        Ok(Mlp::try_new(
+            &[dim, 16, 16, classes],
+            fl_nn::Activation::Tanh,
+            fl_nn::Activation::Identity,
+            rng,
+        )?)
+    }
+
+    /// Helper exposing the per-sample prediction column (binary models).
+    pub fn predict(model: &Mlp, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(model.infer(x)?.col(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{gaussian_blobs, gaussian_blobs_multiclass};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn validation() {
+        let mut t = LocalTrainer::default();
+        assert!(t.validate().is_ok());
+        t.epochs = 0;
+        assert!(t.validate().is_err());
+        let mut t = LocalTrainer::default();
+        t.lr = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = LocalTrainer::default();
+        t.batch_size = 0;
+        assert!(t.validate().is_err());
+        let mut t = LocalTrainer::default();
+        t.objective = Objective::Multiclass(1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn local_training_reduces_loss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = gaussian_blobs(200, 2, 5.0, &mut rng).unwrap();
+        let mut model = LocalTrainer::default_model(2, &mut rng).unwrap();
+        let trainer = LocalTrainer {
+            epochs: 10,
+            ..LocalTrainer::default()
+        };
+        let before = trainer.evaluate_loss(&model, &data).unwrap();
+        trainer.train(&mut model, &data, &mut rng).unwrap();
+        let after = trainer.evaluate_loss(&model, &data).unwrap();
+        assert!(after < before * 0.5, "before={before}, after={after}");
+        let acc = trainer.evaluate_accuracy(&model, &data).unwrap();
+        assert!(acc > 0.95, "accuracy={acc}");
+    }
+
+    #[test]
+    fn multiclass_training_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = gaussian_blobs_multiclass(300, 2, 4, 6.0, &mut rng).unwrap();
+        let mut model = LocalTrainer::multiclass_model(2, 4, &mut rng).unwrap();
+        let trainer = LocalTrainer {
+            epochs: 15,
+            objective: Objective::Multiclass(4),
+            ..LocalTrainer::default()
+        };
+        let before = trainer.evaluate_loss(&model, &data).unwrap();
+        trainer.train(&mut model, &data, &mut rng).unwrap();
+        let after = trainer.evaluate_loss(&model, &data).unwrap();
+        assert!(after < before * 0.5, "before={before}, after={after}");
+        let acc = trainer.evaluate_accuracy(&model, &data).unwrap();
+        assert!(acc > 0.9, "accuracy={acc}");
+    }
+
+    #[test]
+    fn objective_model_mismatch_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let data = gaussian_blobs(8, 2, 5.0, &mut rng).unwrap();
+        let mut binary_model = LocalTrainer::default_model(2, &mut rng).unwrap();
+        let multi = LocalTrainer {
+            objective: Objective::Multiclass(3),
+            ..LocalTrainer::default()
+        };
+        assert!(multi.train(&mut binary_model, &data, &mut rng).is_err());
+        assert!(multi.evaluate_loss(&binary_model, &data).is_err());
+        assert!(multi.evaluate_accuracy(&binary_model, &data).is_err());
+    }
+
+    #[test]
+    fn multiclass_rejects_out_of_range_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let data = gaussian_blobs_multiclass(20, 2, 4, 4.0, &mut rng).unwrap();
+        let mut model = LocalTrainer::multiclass_model(2, 3, &mut rng).unwrap();
+        let trainer = LocalTrainer {
+            objective: Objective::Multiclass(3), // data has labels 0..4
+            ..LocalTrainer::default()
+        };
+        assert!(trainer.train(&mut model, &data, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_shard_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let data = gaussian_blobs(4, 2, 5.0, &mut rng).unwrap();
+        let empty = data.subset(&[]).unwrap();
+        let mut model = LocalTrainer::default_model(2, &mut rng).unwrap();
+        let trainer = LocalTrainer::default();
+        assert!(trainer.train(&mut model, &empty, &mut rng).is_err());
+        assert!(trainer.evaluate_loss(&model, &empty).is_err());
+        assert!(trainer.evaluate_accuracy(&model, &empty).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let make = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let data = gaussian_blobs(64, 2, 4.0, &mut rng).unwrap();
+            let mut model = LocalTrainer::default_model(2, &mut rng).unwrap();
+            LocalTrainer::default()
+                .train(&mut model, &data, &mut rng)
+                .unwrap();
+            model.export_params()
+        };
+        assert_eq!(make(5), make(5));
+    }
+
+    #[test]
+    fn batch_size_larger_than_shard_is_fine() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let data = gaussian_blobs(8, 2, 4.0, &mut rng).unwrap();
+        let mut model = LocalTrainer::default_model(2, &mut rng).unwrap();
+        let trainer = LocalTrainer {
+            batch_size: 1000,
+            ..LocalTrainer::default()
+        };
+        assert!(trainer.train(&mut model, &data, &mut rng).is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the fl-net crate.
+
+use std::fmt;
+
+/// Errors raised by trace construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A constructor argument was invalid (empty trace, non-positive slot
+    /// duration, negative bandwidth, ...).
+    InvalidArgument(String),
+    /// A query referenced a time beyond the end of a non-cyclic trace.
+    OutOfRange {
+        /// The requested time in seconds.
+        requested: f64,
+        /// The trace duration in seconds.
+        duration: f64,
+    },
+    /// An upload could not complete because the remaining trace carries no
+    /// bandwidth (non-cyclic trace exhausted, or all-zero cyclic trace).
+    TransferStalled {
+        /// Megabytes still unsent when the trace ran out.
+        remaining_mb: f64,
+    },
+    /// A trace file could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NetError::OutOfRange {
+                requested,
+                duration,
+            } => write!(
+                f,
+                "time {requested:.3}s is beyond the trace duration {duration:.3}s"
+            ),
+            NetError::TransferStalled { remaining_mb } => write!(
+                f,
+                "transfer stalled with {remaining_mb:.3} MB remaining (no bandwidth left in trace)"
+            ),
+            NetError::Parse(msg) => write!(f, "trace parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::InvalidArgument("x".into()).to_string().contains("x"));
+        let s = NetError::OutOfRange {
+            requested: 5.0,
+            duration: 4.0,
+        }
+        .to_string();
+        assert!(s.contains("5.000"));
+        assert!(s.contains("4.000"));
+        assert!(NetError::TransferStalled { remaining_mb: 1.5 }
+            .to_string()
+            .contains("1.500"));
+        assert!(NetError::Parse("bad line".into()).to_string().contains("bad line"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # fl-net — bandwidth traces for the fedfreq reproduction
+//!
+//! The paper evaluates against real 4G/LTE measurement traces (Ghent walking
+//! dataset) and HSDPA bus traces from Norway. Those datasets are not
+//! redistributable and are not available offline, so this crate provides
+//! **synthetic trace generators** whose temporal statistics match the
+//! envelopes the paper reports (walking: roughly 0–9 MB/s with multi-MB/s
+//! swings within 400 s; bus: 0–800 KB/s), plus the trace machinery the
+//! algorithm actually consumes:
+//!
+//! * [`BandwidthTrace`] — piecewise-constant bandwidth over fixed-length
+//!   slots, with exact integration (Eq. 3 of the paper), upload-completion
+//!   solving, and slot-history windows for the DRL state vector,
+//! * [`synth`] — Gauss–Markov, Markov-regime, and on–off generators with
+//!   presets [`synth::Profile::Walking4G`] and [`synth::Profile::BusHsdpa`],
+//! * [`stats`] — means/variances/autocorrelation/CDFs used by the figure
+//!   harness,
+//! * [`TraceSet`] — a collection of traces devices draw from (the paper
+//!   "randomly selects three/five walking datasets").
+//!
+//! Units: bandwidth in **MB/s**, data sizes in **MB**, time in **seconds**.
+//!
+//! ## Example
+//!
+//! ```
+//! use fl_net::synth::Profile;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! // Ten minutes of synthetic 4G walking bandwidth, 1-second slots.
+//! let trace = Profile::Walking4G.generate(600, 1.0, &mut rng)?.cyclic();
+//! // How long does a 10 MB model upload starting at t = 42 s take?
+//! let seconds = trace.transfer_time(42.0, 10.0)?;
+//! assert!(seconds > 0.0);
+//! // The DRL state: the 5 most recent 10-second slot averages.
+//! let history = trace.history(42.0, 10.0, 4)?;
+//! assert_eq!(history.len(), 5);
+//! # Ok::<(), fl_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards reject NaN along with out-of-range values;
+// clippy's suggested inversion (`x <= 0.0`) would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod io;
+pub mod predict;
+pub mod stats;
+pub mod synth;
+mod trace;
+mod traceset;
+
+pub use error::NetError;
+pub use trace::BandwidthTrace;
+pub use traceset::TraceSet;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

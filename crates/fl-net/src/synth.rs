@@ -1,0 +1,654 @@
+//! Synthetic bandwidth-trace generators.
+//!
+//! Stand-ins for the paper's measurement datasets (Ghent 4G walking traces,
+//! Norwegian HSDPA bus traces), which are not redistributable. Each model
+//! reproduces the property the scheduling problem actually depends on:
+//! bandwidth that is *temporally correlated on short timescales* (so recent
+//! history is informative — the premise of the DRL state design) yet
+//! *non-stationary* (so a static configuration decays — the premise of the
+//! paper's comparison against the Static baseline).
+
+use crate::{BandwidthTrace, NetError, Result};
+use fl_nn_gaussian::gaussian;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+// Small shim so this crate does not depend on fl-nn just for Box–Muller.
+mod fl_nn_gaussian {
+    use rand::Rng;
+
+    /// Standard normal sample via Box–Muller.
+    pub fn gaussian(rng: &mut impl Rng) -> f64 {
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// First-order Gauss–Markov (AR(1)) bandwidth model:
+/// `b_{t+1} = μ + ρ (b_t − μ) + σ √(1−ρ²) ε`, clamped to `[floor, ceil]`.
+///
+/// Captures smooth fading channels (e.g. the HSDPA bus traces, where speed
+/// varies slowly along a route).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussMarkov {
+    /// Long-run mean bandwidth (MB/s).
+    pub mean: f64,
+    /// Stationary standard deviation (MB/s).
+    pub std: f64,
+    /// One-slot autocorrelation in `[0, 1)`.
+    pub rho: f64,
+    /// Lower clamp (MB/s, usually 0).
+    pub floor: f64,
+    /// Upper clamp (MB/s).
+    pub ceil: f64,
+}
+
+impl GaussMarkov {
+    fn validate(&self) -> Result<()> {
+        if !(self.std >= 0.0) || !(0.0..1.0).contains(&self.rho) {
+            return Err(NetError::InvalidArgument(format!(
+                "GaussMarkov needs std >= 0 and rho in [0,1), got std={}, rho={}",
+                self.std, self.rho
+            )));
+        }
+        if !(self.floor >= 0.0) || self.ceil <= self.floor {
+            return Err(NetError::InvalidArgument(format!(
+                "GaussMarkov needs 0 <= floor < ceil, got [{}, {}]",
+                self.floor, self.ceil
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, num_slots: usize, rng: &mut impl Rng) -> Vec<f64> {
+        let innov = self.std * (1.0 - self.rho * self.rho).sqrt();
+        let mut b = (self.mean + self.std * gaussian(rng)).clamp(self.floor, self.ceil);
+        let mut out = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            out.push(b);
+            b = (self.mean + self.rho * (b - self.mean) + innov * gaussian(rng))
+                .clamp(self.floor, self.ceil);
+        }
+        out
+    }
+}
+
+/// A regime (channel-quality level) of the [`MarkovRegime`] model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regime {
+    /// Mean bandwidth in this regime (MB/s).
+    pub mean: f64,
+    /// Within-regime noise standard deviation (MB/s).
+    pub std: f64,
+}
+
+/// Markov-modulated bandwidth: a hidden regime chain (good/fair/bad channel)
+/// with Gaussian noise around each regime's mean. This mimics the abrupt
+/// multi-MB/s swings of the Ghent 4G walking traces (Fig. 2a), where a
+/// pedestrian moves between cells and obstructions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovRegime {
+    /// The regimes, indexed by the hidden state.
+    pub regimes: Vec<Regime>,
+    /// Row-stochastic transition matrix between regimes (per slot).
+    pub transition: Vec<Vec<f64>>,
+    /// Global lower clamp (MB/s).
+    pub floor: f64,
+    /// Global upper clamp (MB/s).
+    pub ceil: f64,
+}
+
+impl MarkovRegime {
+    fn validate(&self) -> Result<()> {
+        let k = self.regimes.len();
+        if k == 0 {
+            return Err(NetError::InvalidArgument(
+                "MarkovRegime needs at least one regime".to_string(),
+            ));
+        }
+        if self.transition.len() != k || self.transition.iter().any(|row| row.len() != k) {
+            return Err(NetError::InvalidArgument(format!(
+                "transition matrix must be {k}x{k}"
+            )));
+        }
+        for row in &self.transition {
+            let s: f64 = row.iter().sum();
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) || (s - 1.0).abs() > 1e-9 {
+                return Err(NetError::InvalidArgument(format!(
+                    "transition rows must be distributions, got row sum {s}"
+                )));
+            }
+        }
+        if !(self.floor >= 0.0) || self.ceil <= self.floor {
+            return Err(NetError::InvalidArgument(format!(
+                "MarkovRegime needs 0 <= floor < ceil, got [{}, {}]",
+                self.floor, self.ceil
+            )));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, num_slots: usize, rng: &mut impl Rng) -> Vec<f64> {
+        let k = self.regimes.len();
+        let mut state = rng.gen_range(0..k);
+        let mut out = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            let r = &self.regimes[state];
+            out.push((r.mean + r.std * gaussian(rng)).clamp(self.floor, self.ceil));
+            // Sample the next regime from the transition row.
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut next = k - 1;
+            for (j, &p) in self.transition[state].iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    next = j;
+                    break;
+                }
+            }
+            state = next;
+        }
+        out
+    }
+}
+
+/// On–off channel: alternating connected / disconnected runs of geometric
+/// length. Models tunnels and coverage holes (the Fig. 2b traces hit zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnOff {
+    /// Mean bandwidth while connected (MB/s).
+    pub on_mean: f64,
+    /// Bandwidth noise std while connected (MB/s).
+    pub on_std: f64,
+    /// Per-slot probability of dropping from on to off.
+    pub p_drop: f64,
+    /// Per-slot probability of recovering from off to on.
+    pub p_recover: f64,
+    /// Upper clamp (MB/s).
+    pub ceil: f64,
+}
+
+impl OnOff {
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.p_drop) || !(0.0..=1.0).contains(&self.p_recover) {
+            return Err(NetError::InvalidArgument(
+                "OnOff probabilities must be in [0,1]".to_string(),
+            ));
+        }
+        if !(self.on_mean > 0.0) || !(self.on_std >= 0.0) || !(self.ceil > 0.0) {
+            return Err(NetError::InvalidArgument(
+                "OnOff needs on_mean > 0, on_std >= 0, ceil > 0".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, num_slots: usize, rng: &mut impl Rng) -> Vec<f64> {
+        let mut on = rng.gen_bool(0.5);
+        let mut out = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            if on {
+                out.push(
+                    (self.on_mean + self.on_std * gaussian(rng)).clamp(0.0, self.ceil),
+                );
+                if rng.gen::<f64>() < self.p_drop {
+                    on = false;
+                }
+            } else {
+                out.push(0.0);
+                if rng.gen::<f64>() < self.p_recover {
+                    on = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic diurnal-style pattern plus noise; useful for ablations
+/// where the optimal policy is analytically predictable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SineNoise {
+    /// Mean bandwidth (MB/s).
+    pub mean: f64,
+    /// Sine amplitude (MB/s).
+    pub amplitude: f64,
+    /// Period in slots.
+    pub period: f64,
+    /// Gaussian noise std (MB/s).
+    pub noise_std: f64,
+}
+
+impl SineNoise {
+    fn validate(&self) -> Result<()> {
+        if !(self.period > 0.0) || !(self.noise_std >= 0.0) {
+            return Err(NetError::InvalidArgument(
+                "SineNoise needs period > 0 and noise_std >= 0".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn generate(&self, num_slots: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..num_slots)
+            .map(|i| {
+                let phase = std::f64::consts::TAU * i as f64 / self.period;
+                (self.mean + self.amplitude * phase.sin() + self.noise_std * gaussian(rng))
+                    .max(0.0)
+            })
+            .collect()
+    }
+}
+
+/// A serializable union of all trace models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceModel {
+    /// AR(1) model.
+    GaussMarkov(GaussMarkov),
+    /// Markov-modulated regimes.
+    MarkovRegime(MarkovRegime),
+    /// On–off channel.
+    OnOff(OnOff),
+    /// Sine + noise.
+    SineNoise(SineNoise),
+    /// Route diversity: every *generated trace* draws one global scale
+    /// factor `u ~ U(scale_lo, scale_hi)` applied to the inner model's
+    /// output. Models how different measurement routes (the paper's
+    /// distinct "walking datasets") have different average coverage —
+    /// which is what makes a pool-wide average bandwidth estimate (the
+    /// Static baseline's input) biased for any individual device.
+    Scaled {
+        /// The per-slot model.
+        inner: Box<TraceModel>,
+        /// Minimum route scale.
+        scale_lo: f64,
+        /// Maximum route scale.
+        scale_hi: f64,
+    },
+}
+
+impl TraceModel {
+    /// Validates the model parameters.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            TraceModel::GaussMarkov(m) => m.validate(),
+            TraceModel::MarkovRegime(m) => m.validate(),
+            TraceModel::OnOff(m) => m.validate(),
+            TraceModel::SineNoise(m) => m.validate(),
+            TraceModel::Scaled {
+                inner,
+                scale_lo,
+                scale_hi,
+            } => {
+                if !(*scale_lo > 0.0) || scale_hi < scale_lo {
+                    return Err(NetError::InvalidArgument(format!(
+                        "Scaled needs 0 < scale_lo <= scale_hi, got [{scale_lo}, {scale_hi}]"
+                    )));
+                }
+                inner.validate()
+            }
+        }
+    }
+
+    /// Generates a trace of `num_slots` slots of `slot_duration` seconds.
+    pub fn generate(
+        &self,
+        num_slots: usize,
+        slot_duration: f64,
+        rng: &mut impl Rng,
+    ) -> Result<BandwidthTrace> {
+        self.validate()?;
+        if num_slots == 0 {
+            return Err(NetError::InvalidArgument(
+                "num_slots must be nonzero".to_string(),
+            ));
+        }
+        let slots = match self {
+            TraceModel::GaussMarkov(m) => m.generate(num_slots, rng),
+            TraceModel::MarkovRegime(m) => m.generate(num_slots, rng),
+            TraceModel::OnOff(m) => m.generate(num_slots, rng),
+            TraceModel::SineNoise(m) => m.generate(num_slots, rng),
+            TraceModel::Scaled {
+                inner,
+                scale_lo,
+                scale_hi,
+            } => {
+                let scale = if scale_lo == scale_hi {
+                    *scale_lo
+                } else {
+                    rng.gen_range(*scale_lo..*scale_hi)
+                };
+                let mut slots = inner
+                    .generate(num_slots, slot_duration, rng)?
+                    .slots()
+                    .to_vec();
+                for s in &mut slots {
+                    *s *= scale;
+                }
+                slots
+            }
+        };
+        BandwidthTrace::new(slot_duration, slots)
+    }
+}
+
+/// Named presets matching the measurement campaigns the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Ghent 4G/LTE walking traces (Fig. 2a): 0–9 MB/s, abrupt regime
+    /// changes as the pedestrian crosses cells.
+    Walking4G,
+    /// Norwegian HSDPA bus traces (Fig. 2b): 0–0.8 MB/s, smooth fading with
+    /// occasional outages.
+    BusHsdpa,
+    /// A near-stationary indoor connection (ablation reference).
+    Stationary,
+    /// Fast-moving vehicle on a highway: strong swings plus outages.
+    Driving4G,
+    /// City tram (HSDPA campaign): stop-and-go rhythm — good throughput at
+    /// stations, fading between them.
+    TramHsdpa,
+    /// Regional train (HSDPA campaign): moderate average with long deep
+    /// fades (tunnels, cuttings).
+    TrainHsdpa,
+}
+
+impl Profile {
+    /// The concrete model behind the preset.
+    pub fn model(self) -> TraceModel {
+        match self {
+            // Sticky regimes: dwell times of ~50-100 s (Fig. 2a shows the
+            // walking traces holding a level for minutes, then swinging by
+            // several MB/s). The dwell time being longer than one FL
+            // iteration is what makes bandwidth *history* informative — and
+            // what breaks the Static baseline's stationarity assumption.
+            Profile::Walking4G => TraceModel::Scaled {
+                inner: Box::new(TraceModel::MarkovRegime(MarkovRegime {
+                    regimes: vec![
+                        Regime { mean: 6.5, std: 1.8 }, // good cell, line of sight
+                        Regime { mean: 3.2, std: 1.4 }, // fair
+                        Regime { mean: 0.8, std: 0.6 }, // obstructed / cell edge
+                    ],
+                    transition: vec![
+                        vec![0.990, 0.008, 0.002],
+                        vec![0.010, 0.980, 0.010],
+                        vec![0.004, 0.016, 0.980],
+                    ],
+                    floor: 0.05,
+                    ceil: 6.8,
+                })),
+                // Route luck: distinct walking datasets differ in average
+                // coverage by roughly this factor in the Ghent campaign.
+                scale_lo: 0.6,
+                scale_hi: 1.4,
+            },
+            Profile::BusHsdpa => TraceModel::GaussMarkov(GaussMarkov {
+                mean: 0.40,
+                std: 0.18,
+                rho: 0.95,
+                floor: 0.0,
+                ceil: 0.80,
+            }),
+            Profile::Stationary => TraceModel::GaussMarkov(GaussMarkov {
+                mean: 5.0,
+                std: 0.3,
+                rho: 0.5,
+                floor: 3.0,
+                ceil: 7.0,
+            }),
+            Profile::Driving4G => TraceModel::OnOff(OnOff {
+                on_mean: 4.0,
+                on_std: 1.5,
+                p_drop: 0.04,
+                p_recover: 0.30,
+                ceil: 9.0,
+            }),
+            // Stop-and-go: ~70 s between stations (the sine period) with a
+            // swing between near-zero (moving, urban canyon) and strong
+            // (stopped at a station with line of sight).
+            Profile::TramHsdpa => TraceModel::SineNoise(SineNoise {
+                mean: 0.45,
+                amplitude: 0.3,
+                period: 70.0,
+                noise_std: 0.08,
+            }),
+            // Regional train: decent cruising throughput with long, deep
+            // fades (tunnels/cuttings) — sticky two-regime chain.
+            Profile::TrainHsdpa => TraceModel::MarkovRegime(MarkovRegime {
+                regimes: vec![
+                    Regime { mean: 0.6, std: 0.15 }, // open track
+                    Regime { mean: 0.05, std: 0.03 }, // tunnel / cutting
+                ],
+                transition: vec![vec![0.992, 0.008], vec![0.03, 0.97]],
+                floor: 0.0,
+                ceil: 1.0,
+            }),
+        }
+    }
+
+    /// Generates a trace for this preset.
+    pub fn generate(
+        self,
+        num_slots: usize,
+        slot_duration: f64,
+        rng: &mut impl Rng,
+    ) -> Result<BandwidthTrace> {
+        self.model().generate(num_slots, slot_duration, rng)
+    }
+
+    /// All presets, for sweeps.
+    pub fn all() -> [Profile; 6] {
+        [
+            Profile::Walking4G,
+            Profile::BusHsdpa,
+            Profile::Stationary,
+            Profile::Driving4G,
+            Profile::TramHsdpa,
+            Profile::TrainHsdpa,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gauss_markov_validates() {
+        let bad = GaussMarkov {
+            mean: 1.0,
+            std: -1.0,
+            rho: 0.5,
+            floor: 0.0,
+            ceil: 2.0,
+        };
+        assert!(TraceModel::GaussMarkov(bad).validate().is_err());
+        let bad_rho = GaussMarkov {
+            mean: 1.0,
+            std: 1.0,
+            rho: 1.0,
+            floor: 0.0,
+            ceil: 2.0,
+        };
+        assert!(TraceModel::GaussMarkov(bad_rho).validate().is_err());
+        let bad_bounds = GaussMarkov {
+            mean: 1.0,
+            std: 1.0,
+            rho: 0.5,
+            floor: 2.0,
+            ceil: 1.0,
+        };
+        assert!(TraceModel::GaussMarkov(bad_bounds).validate().is_err());
+    }
+
+    #[test]
+    fn markov_regime_validates_transition() {
+        let m = MarkovRegime {
+            regimes: vec![Regime { mean: 1.0, std: 0.1 }],
+            transition: vec![vec![0.5]], // does not sum to 1
+            floor: 0.0,
+            ceil: 2.0,
+        };
+        assert!(TraceModel::MarkovRegime(m).validate().is_err());
+        let empty = MarkovRegime {
+            regimes: vec![],
+            transition: vec![],
+            floor: 0.0,
+            ceil: 1.0,
+        };
+        assert!(TraceModel::MarkovRegime(empty).validate().is_err());
+    }
+
+    #[test]
+    fn onoff_validates() {
+        let m = OnOff {
+            on_mean: 1.0,
+            on_std: 0.1,
+            p_drop: 1.5,
+            p_recover: 0.5,
+            ceil: 2.0,
+        };
+        assert!(TraceModel::OnOff(m).validate().is_err());
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        let mut r = rng(0);
+        assert!(Profile::Walking4G.generate(0, 1.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn walking_profile_matches_paper_envelope() {
+        let mut r = rng(1);
+        let t = Profile::Walking4G.generate(4000, 1.0, &mut r).unwrap();
+        // Paper Fig. 2a: bandwidth between <1 MB/s and ~9 MB/s.
+        assert!(t.max() <= 9.5);
+        assert!(t.min() >= 0.0);
+        assert!(t.max() > 6.0, "should visit the good regime, max={}", t.max());
+        assert!(t.min() < 1.5, "should visit the bad regime, min={}", t.min());
+        // Large swings within a 400 s window.
+        let window = &t.slots()[..400];
+        let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = window.iter().copied().fold(0.0f64, f64::max);
+        assert!(hi - lo > 3.0, "swing {}-{} too small", lo, hi);
+    }
+
+    #[test]
+    fn bus_profile_matches_paper_envelope() {
+        let mut r = rng(2);
+        let t = Profile::BusHsdpa.generate(4000, 1.0, &mut r).unwrap();
+        // Paper Fig. 2b: network quality fluctuates within [0, 800 KB/s].
+        assert!(t.max() <= 0.8);
+        assert!(t.min() >= 0.0);
+        assert!(t.mean() > 0.1 && t.mean() < 0.7, "mean={}", t.mean());
+    }
+
+    #[test]
+    fn traces_are_temporally_correlated() {
+        // The DRL state design assumes recent history predicts the future;
+        // verify lag-1 autocorrelation is strong for the realistic models.
+        let mut r = rng(3);
+        for profile in [Profile::Walking4G, Profile::BusHsdpa] {
+            let t = profile.generate(5000, 1.0, &mut r).unwrap();
+            let ac = stats::autocorrelation(t.slots(), 1);
+            assert!(ac > 0.5, "{profile:?} lag-1 autocorr {ac} too weak");
+        }
+    }
+
+    #[test]
+    fn onoff_produces_outages_and_recoveries() {
+        let mut r = rng(4);
+        let t = Profile::Driving4G.generate(5000, 1.0, &mut r).unwrap();
+        let zeros = t.slots().iter().filter(|&&b| b == 0.0).count();
+        assert!(zeros > 50, "expected outages, got {zeros} zero slots");
+        assert!(zeros < 4500, "channel should mostly be up, got {zeros} zero slots");
+    }
+
+    #[test]
+    fn sine_noise_periodicity() {
+        let model = TraceModel::SineNoise(SineNoise {
+            mean: 3.0,
+            amplitude: 1.0,
+            period: 50.0,
+            noise_std: 0.0,
+        });
+        let mut r = rng(5);
+        let t = model.generate(200, 1.0, &mut r).unwrap();
+        // Noise-free sine: slot 0 and slot 50 should match.
+        assert!((t.slots()[0] - t.slots()[50]).abs() < 1e-9);
+        assert!((t.mean() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn tram_profile_stop_and_go() {
+        let mut r = rng(20);
+        let t = Profile::TramHsdpa.generate(2000, 1.0, &mut r).unwrap();
+        // Periodic structure: strong positive autocorrelation at the sine
+        // period, envelope within HSDPA magnitudes.
+        assert!(t.max() <= 1.2, "max={}", t.max());
+        assert!(t.min() >= 0.0);
+        let ac70 = stats::autocorrelation(t.slots(), 70);
+        let ac35 = stats::autocorrelation(t.slots(), 35);
+        assert!(ac70 > 0.4, "period autocorr {ac70}");
+        assert!(ac35 < 0.0, "half-period autocorr {ac35}");
+    }
+
+    #[test]
+    fn train_profile_has_deep_fades() {
+        let mut r = rng(21);
+        let t = Profile::TrainHsdpa.generate(6000, 1.0, &mut r).unwrap();
+        let faded = t.slots().iter().filter(|&&b| b < 0.1).count();
+        assert!(faded > 200, "expected tunnel stretches, got {faded} faded slots");
+        assert!(t.mean() > 0.3, "open track should dominate, mean={}", t.mean());
+        assert!(t.max() <= 1.0);
+    }
+
+    #[test]
+    fn all_profiles_generate() {
+        let mut r = rng(22);
+        for p in Profile::all() {
+            let t = p.generate(300, 1.0, &mut r).unwrap();
+            assert_eq!(t.num_slots(), 300);
+            assert!(t.slots().iter().all(|b| b.is_finite() && *b >= 0.0));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let t1 = Profile::Walking4G.generate(100, 1.0, &mut rng(9)).unwrap();
+        let t2 = Profile::Walking4G.generate(100, 1.0, &mut rng(9)).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_traces() {
+        let t1 = Profile::Walking4G.generate(100, 1.0, &mut rng(10)).unwrap();
+        let t2 = Profile::Walking4G.generate(100, 1.0, &mut rng(11)).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn gauss_markov_stationary_moments() {
+        let model = GaussMarkov {
+            mean: 2.0,
+            std: 0.5,
+            rho: 0.9,
+            floor: 0.0,
+            ceil: 10.0,
+        };
+        let mut r = rng(12);
+        let slots = model.generate(50_000, &mut r);
+        let m = stats::mean(&slots);
+        let s = stats::std_dev(&slots);
+        assert!((m - 2.0).abs() < 0.1, "mean={m}");
+        assert!((s - 0.5).abs() < 0.1, "std={s}");
+    }
+}

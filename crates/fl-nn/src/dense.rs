@@ -1,0 +1,335 @@
+//! A fully-connected layer with manual backpropagation.
+
+use crate::{Activation, Init, Matrix, NnError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense (fully-connected) layer: `y = act(x W + b)`.
+///
+/// `W` is `in_dim x out_dim`, inputs are batched row-wise (`batch x in_dim`).
+/// Gradients accumulate into `grad_w` / `grad_b` until [`Dense::zero_grad`];
+/// this accumulate-then-step contract is what lets the PPO loss combine
+/// several objective terms (surrogate + entropy) before one optimizer step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    activation: Activation,
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Option<Vec<f64>>,
+    /// Cached input of the last `forward` call (needed by `backward`).
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    /// Cached pre-activation of the last `forward` call.
+    #[serde(skip)]
+    cached_pre: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with `init`-sampled weights and zero biases.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Dense {
+            w: init.sample(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            activation,
+            grad_w: None,
+            grad_b: None,
+            cached_input: None,
+            cached_pre: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable view of the weights.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Immutable view of the biases.
+    pub fn biases(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Number of trainable parameters (`in*out + out`).
+    pub fn num_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Forward pass that caches activations for a later [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Result<Matrix> {
+        let mut pre = x.matmul(&self.w)?;
+        pre.add_row_broadcast(&self.b)?;
+        let out = pre.map(|z| self.activation.apply(z));
+        self.cached_input = Some(x.clone());
+        self.cached_pre = Some(pre);
+        Ok(out)
+    }
+
+    /// Stateless forward pass for inference (no caches touched).
+    pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
+        let mut pre = x.matmul(&self.w)?;
+        pre.add_row_broadcast(&self.b)?;
+        pre.map_inplace(|z| self.activation.apply(z));
+        Ok(pre)
+    }
+
+    /// Backward pass: consumes `dl/dy` for the cached batch, accumulates
+    /// `dl/dW`, `dl/db`, and returns `dl/dx`.
+    ///
+    /// Returns an error when called before `forward` or with a gradient whose
+    /// shape does not match the cached batch.
+    pub fn backward(&mut self, dy: &Matrix) -> Result<Matrix> {
+        let x = self.cached_input.as_ref().ok_or_else(|| {
+            NnError::InvalidArgument("backward called before forward".to_string())
+        })?;
+        let pre = self
+            .cached_pre
+            .as_ref()
+            .expect("cached_pre set whenever cached_input is");
+        if dy.shape() != pre.shape() {
+            return Err(NnError::ShapeMismatch {
+                op: "dense backward",
+                lhs: pre.shape(),
+                rhs: dy.shape(),
+            });
+        }
+        // dz = dy (elementwise*) act'(pre)
+        let act = self.activation;
+        let mut dz = dy.clone();
+        for (d, &z) in dz.data_mut().iter_mut().zip(pre.data()) {
+            *d *= act.derivative(z);
+        }
+        // dW += x^T dz ; db += column sums of dz ; dx = dz W^T
+        let dw = x.matmul_tn(&dz)?;
+        match &mut self.grad_w {
+            Some(g) => g.axpy(1.0, &dw)?,
+            None => self.grad_w = Some(dw),
+        }
+        let db = dz.col_sums();
+        match &mut self.grad_b {
+            Some(g) => {
+                for (a, b) in g.iter_mut().zip(&db) {
+                    *a += b;
+                }
+            }
+            None => self.grad_b = Some(db),
+        }
+        dz.matmul_nt(&self.w)
+    }
+
+    /// Clears accumulated gradients (not the activation caches).
+    pub fn zero_grad(&mut self) {
+        self.grad_w = None;
+        self.grad_b = None;
+    }
+
+    /// Visits `(param, grad)` pairs in a stable order: weights row-major,
+    /// then biases. Missing gradients visit as `0.0`.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut f64, f64)) {
+        let zero_w;
+        let gw = match &self.grad_w {
+            Some(g) => g.data(),
+            None => {
+                zero_w = vec![0.0; self.w.rows() * self.w.cols()];
+                &zero_w[..]
+            }
+        };
+        // `gw` borrows grad_w while we mutate w — safe because they are
+        // distinct fields, but the borrow checker needs the clone below when
+        // gradients exist. Keep it simple: copy the gradient slices out.
+        let gw: Vec<f64> = gw.to_vec();
+        for (p, g) in self.w.data_mut().iter_mut().zip(gw) {
+            f(p, g);
+        }
+        let gb: Vec<f64> = match &self.grad_b {
+            Some(g) => g.clone(),
+            None => vec![0.0; self.b.len()],
+        };
+        for (p, g) in self.b.iter_mut().zip(gb) {
+            f(p, g);
+        }
+    }
+
+    /// Copies all parameters out in `visit_params` order.
+    pub fn export_params(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(self.w.data());
+        out.extend_from_slice(&self.b);
+    }
+
+    /// Loads parameters from `src` in `visit_params` order, returning how
+    /// many values were consumed.
+    pub fn import_params(&mut self, src: &[f64]) -> Result<usize> {
+        let need = self.num_params();
+        if src.len() < need {
+            return Err(NnError::InvalidArgument(format!(
+                "import_params needs {need} values, got {}",
+                src.len()
+            )));
+        }
+        let nw = self.w.rows() * self.w.cols();
+        self.w.data_mut().copy_from_slice(&src[..nw]);
+        self.b.copy_from_slice(&src[nw..need]);
+        Ok(need)
+    }
+
+    /// Sum of squared gradient entries (for global-norm clipping).
+    pub fn grad_sq_sum(&self) -> f64 {
+        let gw = self
+            .grad_w
+            .as_ref()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f64>())
+            .unwrap_or(0.0);
+        let gb = self
+            .grad_b
+            .as_ref()
+            .map(|g| g.iter().map(|v| v * v).sum::<f64>())
+            .unwrap_or(0.0);
+        gw + gb
+    }
+
+    /// Scales accumulated gradients in place (for clipping / averaging).
+    pub fn scale_grads(&mut self, alpha: f64) {
+        if let Some(g) = &mut self.grad_w {
+            g.scale_inplace(alpha);
+        }
+        if let Some(g) = &mut self.grad_b {
+            for v in g.iter_mut() {
+                *v *= alpha;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layer(act: Activation) -> Dense {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        Dense::new(3, 2, act, Init::XavierUniform, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer(Activation::Tanh);
+        let x = Matrix::zeros(5, 3);
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.shape(), (5, 2));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut l = layer(Activation::Sigmoid);
+        let x = Matrix::from_fn(4, 3, |r, c| (r + c) as f64 * 0.1);
+        let y1 = l.forward(&x).unwrap();
+        let y2 = l.infer(&x).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = layer(Activation::Identity);
+        assert!(l.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn backward_shape_mismatch_errors() {
+        let mut l = layer(Activation::Identity);
+        let x = Matrix::zeros(4, 3);
+        l.forward(&x).unwrap();
+        assert!(l.backward(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn identity_layer_gradient_exact() {
+        // With identity activation and a single example, gradients have a
+        // closed form: dW = x^T dy, db = dy, dx = dy W^T.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut l = Dense::new(2, 2, Activation::Identity, Init::XavierUniform, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, -2.0]).unwrap();
+        l.forward(&x).unwrap();
+        let dy = Matrix::from_vec(1, 2, vec![0.5, 1.5]).unwrap();
+        let dx = l.backward(&dy).unwrap();
+        let expected_dx = dy.matmul_nt(l.weights()).unwrap();
+        assert_eq!(dx, expected_dx);
+        let gw = l.grad_w.as_ref().unwrap();
+        assert!((gw.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((gw.get(1, 1) + 3.0).abs() < 1e-12);
+        assert_eq!(l.grad_b.as_ref().unwrap(), &vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut l = layer(Activation::Identity);
+        let x = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64 * 0.1);
+        let dy = Matrix::filled(2, 2, 1.0);
+        l.forward(&x).unwrap();
+        l.backward(&dy).unwrap();
+        let g1 = l.grad_sq_sum();
+        l.forward(&x).unwrap();
+        l.backward(&dy).unwrap();
+        let g2 = l.grad_sq_sum();
+        // Doubled gradients => 4x squared sum.
+        assert!((g2 - 4.0 * g1).abs() < 1e-9 * g1.max(1.0));
+        l.zero_grad();
+        assert_eq!(l.grad_sq_sum(), 0.0);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut l = layer(Activation::Tanh);
+        let mut saved = Vec::new();
+        l.export_params(&mut saved);
+        assert_eq!(saved.len(), l.num_params());
+        let mut l2 = layer(Activation::Tanh);
+        // Perturb, then restore.
+        l2.visit_params(&mut |p, _| *p += 1.0);
+        let consumed = l2.import_params(&saved).unwrap();
+        assert_eq!(consumed, saved.len());
+        let mut restored = Vec::new();
+        l2.export_params(&mut restored);
+        assert_eq!(saved, restored);
+    }
+
+    #[test]
+    fn import_rejects_short_slice() {
+        let mut l = layer(Activation::Tanh);
+        assert!(l.import_params(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn scale_grads_scales() {
+        let mut l = layer(Activation::Identity);
+        let x = Matrix::filled(1, 3, 1.0);
+        l.forward(&x).unwrap();
+        l.backward(&Matrix::filled(1, 2, 1.0)).unwrap();
+        let before = l.grad_sq_sum();
+        l.scale_grads(0.5);
+        let after = l.grad_sq_sum();
+        assert!((after - 0.25 * before).abs() < 1e-12 * before.max(1.0));
+    }
+}

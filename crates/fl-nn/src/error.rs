@@ -1,0 +1,69 @@
+//! Error type for the fl-nn crate.
+
+use std::fmt;
+
+/// Errors raised by matrix and network operations.
+///
+/// Library code never panics on bad shapes: every shape-sensitive operation
+/// returns `Result<_, NnError>` so callers (the RL and FL stacks) can surface
+/// configuration mistakes instead of aborting a long training run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Two operands had incompatible shapes for the named operation.
+    ShapeMismatch {
+        /// Operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left/self operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/other operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor argument was invalid (zero dimension, wrong data
+    /// length, non-finite hyperparameter, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = NnError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = NnError::InvalidArgument("rows must be nonzero".into());
+        assert!(e.to_string().contains("rows must be nonzero"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NnError::InvalidArgument("x".into()));
+    }
+}

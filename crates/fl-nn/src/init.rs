@@ -1,0 +1,124 @@
+//! Weight initialization schemes.
+
+use crate::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Weight initialization scheme for dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    /// The right default for tanh/sigmoid networks (our PPO nets).
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`, the default for ReLU.
+    HeNormal,
+    /// Uniform in a fixed interval.
+    Uniform {
+        /// Lower bound (inclusive).
+        low: f64,
+        /// Upper bound (exclusive).
+        high: f64,
+    },
+    /// Every weight set to the same constant (mostly for tests).
+    Constant(f64),
+    /// Orthogonal-ish scaled Xavier used for small policy output layers:
+    /// Xavier uniform scaled down by `gain` so initial actions stay near the
+    /// distribution center.
+    ScaledXavier {
+        /// Multiplier applied to the Xavier bound.
+        gain: f64,
+    },
+}
+
+impl Init {
+    /// Samples a `fan_in x fan_out` weight matrix.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+        match self {
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..a))
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                Matrix::from_fn(fan_in, fan_out, |_, _| std * gaussian(rng))
+            }
+            Init::Uniform { low, high } => {
+                Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(low..high))
+            }
+            Init::Constant(v) => Matrix::filled(fan_in, fan_out, v),
+            Init::ScaledXavier { gain } => {
+                let a = gain * (6.0 / (fan_in + fan_out) as f64).sqrt();
+                Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..a))
+            }
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    // u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = Init::XavierUniform.sample(10, 20, &mut rng);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(w.data().iter().all(|&v| v > -a && v < a));
+        assert_eq!(w.shape(), (10, 20));
+    }
+
+    #[test]
+    fn he_normal_std_roughly_right() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let w = Init::HeNormal.sample(100, 100, &mut rng);
+        let mean = w.mean();
+        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (w.data().len() - 1) as f64;
+        let expected = 2.0 / 100.0;
+        assert!((var - expected).abs() < expected * 0.2, "var={var}");
+    }
+
+    #[test]
+    fn constant_fills() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let w = Init::Constant(0.25).sample(2, 3, &mut rng);
+        assert!(w.data().iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn scaled_xavier_smaller_than_xavier() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let w = Init::ScaledXavier { gain: 0.01 }.sample(50, 50, &mut rng);
+        assert!(w.max_abs() <= 0.01 * (6.0 / 100.0f64).sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(42);
+        let mut r2 = ChaCha8Rng::seed_from_u64(42);
+        let w1 = Init::XavierUniform.sample(4, 4, &mut r1);
+        let w2 = Init::XavierUniform.sample(4, 4, &mut r2);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

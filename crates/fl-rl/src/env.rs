@@ -1,0 +1,119 @@
+//! The environment interface.
+
+use crate::Result;
+use rand_chacha::ChaCha8Rng;
+
+/// One environment transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Observation after the action.
+    pub obs: Vec<f64>,
+    /// Reward earned by the action.
+    pub reward: f64,
+    /// Whether the episode terminated with this step.
+    pub done: bool,
+}
+
+/// A continuous-action reinforcement-learning environment.
+///
+/// Actions arrive as raw policy outputs in `R^action_dim`; the environment
+/// owns the mapping into its feasible set (for the FL environment, a
+/// sigmoid squash into `(0, δ_i^max]` per device). Keeping the squash on
+/// the environment side keeps Gaussian log-probabilities exact.
+pub trait Environment {
+    /// Observation dimensionality.
+    fn obs_dim(&self) -> usize;
+
+    /// Action dimensionality.
+    fn action_dim(&self) -> usize;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self, rng: &mut ChaCha8Rng) -> Result<Vec<f64>>;
+
+    /// Applies an action and advances one step.
+    fn step(&mut self, action: &[f64]) -> Result<Step>;
+}
+
+#[cfg(test)]
+pub(crate) mod testenv {
+    //! A tiny analytically solvable environment shared by the crate tests:
+    //! reward `-(a - target(s))²` where `target(s) = 0.5 s`, episode length
+    //! fixed. The optimal policy is `a = 0.5 s`, mean reward 0.
+    use super::*;
+    use rand::Rng;
+
+    pub struct QuadEnv {
+        pub state: f64,
+        pub steps_left: u32,
+        pub horizon: u32,
+    }
+
+    impl QuadEnv {
+        pub fn new(horizon: u32) -> Self {
+            QuadEnv {
+                state: 0.0,
+                steps_left: horizon,
+                horizon,
+            }
+        }
+    }
+
+    impl Environment for QuadEnv {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+
+        fn action_dim(&self) -> usize {
+            1
+        }
+
+        fn reset(&mut self, rng: &mut ChaCha8Rng) -> Result<Vec<f64>> {
+            self.state = rng.gen_range(-1.0..1.0);
+            self.steps_left = self.horizon;
+            Ok(vec![self.state])
+        }
+
+        fn step(&mut self, action: &[f64]) -> Result<Step> {
+            let target = 0.5 * self.state;
+            let d = action[0] - target;
+            let reward = -d * d;
+            self.state = -self.state * 0.9; // deterministic drift
+            self.steps_left -= 1;
+            Ok(Step {
+                obs: vec![self.state],
+                reward,
+                done: self.steps_left == 0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testenv::QuadEnv;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quad_env_contract() {
+        let mut env = QuadEnv::new(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let obs = env.reset(&mut rng).unwrap();
+        assert_eq!(obs.len(), env.obs_dim());
+        let s1 = env.step(&[0.0]).unwrap();
+        assert!(!s1.done);
+        assert!(s1.reward <= 0.0);
+        env.step(&[0.0]).unwrap();
+        let s3 = env.step(&[0.0]).unwrap();
+        assert!(s3.done);
+    }
+
+    #[test]
+    fn quad_env_optimal_action_zero_reward() {
+        let mut env = QuadEnv::new(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let obs = env.reset(&mut rng).unwrap();
+        let s = env.step(&[0.5 * obs[0]]).unwrap();
+        assert!(s.reward.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the fl-rl crate.
+
+use std::fmt;
+
+/// Errors raised by the RL machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RlError {
+    /// A configuration or argument was invalid.
+    InvalidArgument(String),
+    /// The environment reported a failure during `step`/`reset`.
+    Environment(String),
+    /// A numeric failure surfaced from the NN substrate.
+    Nn(fl_nn::NnError),
+    /// Training diverged (non-finite loss or parameters).
+    Diverged(String),
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            RlError::Environment(msg) => write!(f, "environment error: {msg}"),
+            RlError::Nn(e) => write!(f, "nn error: {e}"),
+            RlError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RlError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fl_nn::NnError> for RlError {
+    fn from(e: fl_nn::NnError) -> Self {
+        RlError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: RlError = fl_nn::NnError::InvalidArgument("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert!(RlError::Diverged("nan".into()).to_string().contains("nan"));
+        assert!(RlError::Environment("x".into()).to_string().contains("x"));
+    }
+}

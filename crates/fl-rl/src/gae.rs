@@ -1,0 +1,165 @@
+//! Generalized advantage estimation.
+//!
+//! Algorithm 1's critic objective (line 20) minimizes the squared one-step
+//! TD error — the `λ_GAE = 0` member of this family. We expose the full
+//! GAE(λ) estimator (Schulman et al. 2016) since PPO is typically run with
+//! `λ_GAE ≈ 0.95`; the `abl_ppo` bench sweeps this back to 0 for fidelity
+//! with the paper's pseudo-code.
+
+/// Computes advantages and value targets for one rollout.
+///
+/// * `rewards[t]`, `values[t]`, `dones[t]` — per-step data.
+/// * `last_value` — `V(s_T)` bootstrapping the value beyond the buffer (use
+///   0.0 if the last transition ends an episode).
+///
+/// Returns `(advantages, returns)` where `returns[t] = advantages[t] +
+/// values[t]` are the critic regression targets.
+pub fn gae(
+    rewards: &[f64],
+    values: &[f64],
+    dones: &[bool],
+    last_value: f64,
+    gamma: f64,
+    lambda: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(rewards.len(), values.len());
+    assert_eq!(rewards.len(), dones.len());
+    let n = rewards.len();
+    let mut adv = vec![0.0; n];
+    let mut acc = 0.0;
+    for t in (0..n).rev() {
+        let next_value = if t == n - 1 { last_value } else { values[t + 1] };
+        let not_done = if dones[t] { 0.0 } else { 1.0 };
+        let delta = rewards[t] + gamma * next_value * not_done - values[t];
+        acc = delta + gamma * lambda * not_done * acc;
+        adv[t] = acc;
+    }
+    let returns = adv.iter().zip(values).map(|(a, v)| a + v).collect();
+    (adv, returns)
+}
+
+/// Normalizes advantages to zero mean / unit std in place (no-op for fewer
+/// than two samples or a constant vector). Standard PPO stabilization.
+pub fn normalize_advantages(adv: &mut [f64]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let mean = adv.iter().sum::<f64>() / adv.len() as f64;
+    let var = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / adv.len() as f64;
+    let std = var.sqrt();
+    if std < 1e-8 {
+        return;
+    }
+    for a in adv.iter_mut() {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_step_terminal() {
+        // One terminal step: advantage = r - V(s).
+        let (adv, ret) = gae(&[2.0], &[0.5], &[true], 99.0, 0.9, 0.95);
+        assert!((adv[0] - 1.5).abs() < 1e-12);
+        assert!((ret[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_uses_last_value() {
+        // Non-terminal single step: δ = r + γ·last_value − V(s).
+        let (adv, _) = gae(&[1.0], &[0.0], &[false], 2.0, 0.5, 0.95);
+        assert!((adv[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_is_td_error() {
+        // With λ=0, advantages are pure one-step TD errors — Algorithm 1's
+        // critic objective.
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [0.5, 1.0, 1.5];
+        let dones = [false, false, true];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.0, 0.9, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 1.0 - 0.5)).abs() < 1e-12);
+        assert!((adv[1] - (2.0 + 0.9 * 1.5 - 1.0)).abs() < 1e-12);
+        assert!((adv[2] - (3.0 - 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_one_is_monte_carlo() {
+        // With λ=1 and γ=1, returns are full discounted sums.
+        let rewards = [1.0, 1.0, 1.0];
+        let values = [0.0, 0.0, 0.0];
+        let dones = [false, false, true];
+        let (adv, ret) = gae(&rewards, &values, &dones, 0.0, 1.0, 1.0);
+        assert!((adv[0] - 3.0).abs() < 1e-12);
+        assert!((ret[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn done_blocks_credit_flow() {
+        // Episode boundary at t=0: the huge reward at t=1 must not leak back.
+        let rewards = [0.0, 1000.0];
+        let values = [0.0, 0.0];
+        let dones = [true, true];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.0, 0.99, 0.95);
+        assert!(adv[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_advantages_basic() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0];
+        normalize_advantages(&mut adv);
+        let mean: f64 = adv.iter().sum::<f64>() / 4.0;
+        let var: f64 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_degenerate_cases() {
+        let mut one = vec![5.0];
+        normalize_advantages(&mut one);
+        assert_eq!(one, vec![5.0]);
+        let mut constant = vec![2.0, 2.0, 2.0];
+        normalize_advantages(&mut constant);
+        assert_eq!(constant, vec![2.0, 2.0, 2.0]);
+    }
+
+    proptest! {
+        /// returns − values == advantages, definitionally.
+        #[test]
+        fn prop_returns_identity(
+            rewards in proptest::collection::vec(-5.0f64..5.0, 1..20),
+            gamma in 0.5f64..1.0,
+            lambda in 0.0f64..1.0,
+        ) {
+            let n = rewards.len();
+            let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut dones = vec![false; n];
+            dones[n - 1] = true;
+            let (adv, ret) = gae(&rewards, &values, &dones, 0.0, gamma, lambda);
+            for i in 0..n {
+                prop_assert!((ret[i] - values[i] - adv[i]).abs() < 1e-9);
+            }
+        }
+
+        /// GAE with all-zero rewards and values yields zero advantages.
+        #[test]
+        fn prop_zero_inputs_zero_output(n in 1usize..20) {
+            let (adv, ret) = gae(
+                &vec![0.0; n],
+                &vec![0.0; n],
+                &vec![false; n],
+                0.0,
+                0.99,
+                0.95,
+            );
+            prop_assert!(adv.iter().all(|a| a.abs() < 1e-12));
+            prop_assert!(ret.iter().all(|r| r.abs() < 1e-12));
+        }
+    }
+}

@@ -1,0 +1,740 @@
+//! Diagonal-Gaussian policy with manual gradients.
+
+use crate::{Result, RlError};
+use fl_nn::{Activation, Matrix, Mlp};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bounds applied to the log standard deviation parameters. Projection back
+/// into this interval after each optimizer step keeps exploration noise in
+/// a sane range without distorting gradients.
+pub const LOG_STD_MIN: f64 = -4.0;
+/// Upper log-std bound; see [`LOG_STD_MIN`].
+pub const LOG_STD_MAX: f64 = 1.0;
+
+const HALF_LN_2PI: f64 = 0.918_938_533_204_672_7; // 0.5 * ln(2π)
+
+/// Mean-network architecture.
+///
+/// * [`MeanArch::Joint`] — one MLP mapping the full state to all `N` action
+///   means at once (positional device identity). The natural reading of the
+///   paper's `π(a_k|s_k; θ_a)`.
+/// * [`MeanArch::Shared`] — one *parameter-shared* MLP applied per device:
+///   each device's mean comes from `MLP(own features ⊕ fleet mean/min/max
+///   features ⊕ own static constants)`. With `N` devices the gradient
+///   signal per weight is `N×` denser, which is what makes the 50-device
+///   experiment train in reasonable budgets. The trade-off is explored by
+///   the `abl_arch` bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MeanArch {
+    /// Monolithic state→actions network.
+    Joint(Mlp),
+    /// Weight sharing across devices.
+    Shared {
+        /// The per-device network (`4*feat_dim + statics.cols()` → 1).
+        net: Mlp,
+        /// Number of devices `N` (= action dim).
+        n_devices: usize,
+        /// Per-device observation features (the `H+1` bandwidth slots).
+        feat_dim: usize,
+        /// Per-device static constants (`N x S`), e.g. work, δ_max, α, e —
+        /// fixed at construction, serialized with the policy.
+        statics: Matrix,
+    },
+}
+
+/// The actor network `π(a|s; θ_a)`: a mean architecture plus a trainable
+/// state-independent log-std vector (the standard continuous PPO
+/// parameterization).
+///
+/// Actions live in `R^action_dim`; bounded action spaces (the paper's
+/// `δ ∈ (0, δ_max]`) are handled by the environment squashing raw actions,
+/// which keeps these log-probabilities exact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianPolicy {
+    arch: MeanArch,
+    log_std: Vec<f64>,
+    // Serialized (it is small) so checkpoint/restore round-trips exactly
+    // even mid-accumulation.
+    log_std_grad: Vec<f64>,
+}
+
+impl GaussianPolicy {
+    /// Builds a joint-architecture policy with tanh hidden layers and an
+    /// identity mean head.
+    pub fn new(
+        obs_dim: usize,
+        hidden: &[usize],
+        action_dim: usize,
+        init_log_std: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let mut sizes = Vec::with_capacity(hidden.len() + 2);
+        sizes.push(obs_dim);
+        sizes.extend_from_slice(hidden);
+        sizes.push(action_dim);
+        let mean_net = Mlp::try_new(&sizes, Activation::Tanh, Activation::Identity, rng)?;
+        if !init_log_std.is_finite() {
+            return Err(RlError::InvalidArgument(
+                "init_log_std must be finite".to_string(),
+            ));
+        }
+        Ok(GaussianPolicy {
+            arch: MeanArch::Joint(mean_net),
+            log_std: vec![init_log_std.clamp(LOG_STD_MIN, LOG_STD_MAX); action_dim],
+            log_std_grad: vec![0.0; action_dim],
+        })
+    }
+
+    /// Builds a parameter-shared policy: the observation is interpreted as
+    /// `n_devices` blocks of `feat_dim` features; every device's action
+    /// mean is produced by the same MLP fed its own block, the fleet's
+    /// mean/min/max aggregate blocks, and its row of `statics`.
+    pub fn new_shared(
+        n_devices: usize,
+        feat_dim: usize,
+        statics: Matrix,
+        hidden: &[usize],
+        init_log_std: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if n_devices == 0 || feat_dim == 0 {
+            return Err(RlError::InvalidArgument(
+                "n_devices and feat_dim must be nonzero".to_string(),
+            ));
+        }
+        if statics.rows() != n_devices {
+            return Err(RlError::InvalidArgument(format!(
+                "statics has {} rows, expected {}",
+                statics.rows(),
+                n_devices
+            )));
+        }
+        if !init_log_std.is_finite() {
+            return Err(RlError::InvalidArgument(
+                "init_log_std must be finite".to_string(),
+            ));
+        }
+        let in_dim = 4 * feat_dim + statics.cols();
+        let mut sizes = Vec::with_capacity(hidden.len() + 2);
+        sizes.push(in_dim);
+        sizes.extend_from_slice(hidden);
+        sizes.push(1);
+        let net = Mlp::try_new(&sizes, Activation::Tanh, Activation::Identity, rng)?;
+        Ok(GaussianPolicy {
+            arch: MeanArch::Shared {
+                net,
+                n_devices,
+                feat_dim,
+                statics,
+            },
+            log_std: vec![init_log_std.clamp(LOG_STD_MIN, LOG_STD_MAX); n_devices],
+            log_std_grad: vec![0.0; n_devices],
+        })
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        match &self.arch {
+            MeanArch::Joint(net) => net.in_dim(),
+            MeanArch::Shared {
+                n_devices,
+                feat_dim,
+                ..
+            } => n_devices * feat_dim,
+        }
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        match &self.arch {
+            MeanArch::Joint(net) => net.out_dim(),
+            MeanArch::Shared { n_devices, .. } => *n_devices,
+        }
+    }
+
+    /// True when the policy shares weights across devices.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.arch, MeanArch::Shared { .. })
+    }
+
+    /// The underlying network (for optimizer binding).
+    pub fn mean_net_mut(&mut self) -> &mut Mlp {
+        match &mut self.arch {
+            MeanArch::Joint(net) => net,
+            MeanArch::Shared { net, .. } => net,
+        }
+    }
+
+    /// The underlying network (read-only).
+    pub fn mean_net(&self) -> &Mlp {
+        match &self.arch {
+            MeanArch::Joint(net) => net,
+            MeanArch::Shared { net, .. } => net,
+        }
+    }
+
+    /// For the shared architecture: expands an observation batch
+    /// (`n x N*F`) into the per-device input batch (`n*N x 4F+S`); rows are
+    /// ordered sample-major (`sample 0 device 0, sample 0 device 1, ...`).
+    ///
+    /// Each device sees its own feature block plus three fleet aggregates
+    /// per feature — mean, min, and max. The extremes matter because the
+    /// synchronized iteration is paced by the *straggler*: a device cannot
+    /// judge its slack without knowing how slow the slowest peer looks.
+    fn shared_input(
+        obs: &Matrix,
+        n_devices: usize,
+        feat_dim: usize,
+        statics: &Matrix,
+    ) -> Result<Matrix> {
+        if obs.cols() != n_devices * feat_dim {
+            return Err(RlError::InvalidArgument(format!(
+                "obs width {} != n_devices*feat_dim {}",
+                obs.cols(),
+                n_devices * feat_dim
+            )));
+        }
+        let s = statics.cols();
+        let width = 4 * feat_dim + s;
+        let mut out = Matrix::zeros(obs.rows() * n_devices, width);
+        let mut mean = vec![0.0; feat_dim];
+        let mut min = vec![0.0; feat_dim];
+        let mut max = vec![0.0; feat_dim];
+        for r in 0..obs.rows() {
+            let row = obs.row(r);
+            for f in 0..feat_dim {
+                mean[f] = 0.0;
+                min[f] = f64::INFINITY;
+                max[f] = f64::NEG_INFINITY;
+            }
+            for d in 0..n_devices {
+                for f in 0..feat_dim {
+                    let v = row[d * feat_dim + f];
+                    mean[f] += v;
+                    min[f] = min[f].min(v);
+                    max[f] = max[f].max(v);
+                }
+            }
+            for m in mean.iter_mut() {
+                *m /= n_devices as f64;
+            }
+            for d in 0..n_devices {
+                let orow = out.row_mut(r * n_devices + d);
+                orow[..feat_dim].copy_from_slice(&row[d * feat_dim..(d + 1) * feat_dim]);
+                orow[feat_dim..2 * feat_dim].copy_from_slice(&mean);
+                orow[2 * feat_dim..3 * feat_dim].copy_from_slice(&min);
+                orow[3 * feat_dim..4 * feat_dim].copy_from_slice(&max);
+                orow[4 * feat_dim..].copy_from_slice(statics.row(d));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reshapes the shared net's `(n*N) x 1` output into `n x N` means.
+    fn fold_shared_output(flat: &Matrix, n: usize, n_devices: usize) -> Matrix {
+        Matrix::from_fn(n, n_devices, |r, d| flat.get(r * n_devices + d, 0))
+    }
+
+    /// Inference-path mean batch for any architecture.
+    fn infer_means(&self, obs: &Matrix) -> Result<Matrix> {
+        match &self.arch {
+            MeanArch::Joint(net) => Ok(net.infer(obs)?),
+            MeanArch::Shared {
+                net,
+                n_devices,
+                feat_dim,
+                statics,
+            } => {
+                let input = Self::shared_input(obs, *n_devices, *feat_dim, statics)?;
+                let flat = net.infer(&input)?;
+                Ok(Self::fold_shared_output(&flat, obs.rows(), *n_devices))
+            }
+        }
+    }
+
+    /// Current per-dimension standard deviations.
+    pub fn std(&self) -> Vec<f64> {
+        self.log_std.iter().map(|ls| ls.exp()).collect()
+    }
+
+    /// Current log-std parameters.
+    pub fn log_std(&self) -> &[f64] {
+        &self.log_std
+    }
+
+    /// Accumulated log-std gradients.
+    pub fn log_std_grad(&self) -> &[f64] {
+        &self.log_std_grad
+    }
+
+    /// Applies a raw update to the log-std parameters and projects back into
+    /// `[LOG_STD_MIN, LOG_STD_MAX]`.
+    pub fn apply_log_std_delta(&mut self, delta: &[f64]) {
+        for (ls, d) in self.log_std.iter_mut().zip(delta) {
+            *ls = (*ls + d).clamp(LOG_STD_MIN, LOG_STD_MAX);
+        }
+    }
+
+    /// Deterministic action: the Gaussian mean at `obs` (used for
+    /// evaluation / online reasoning where the paper uses the trained actor
+    /// directly).
+    pub fn mean_action(&self, obs: &[f64]) -> Result<Vec<f64>> {
+        let m = self.infer_means(&Matrix::row_vector(obs))?;
+        Ok(m.row(0).to_vec())
+    }
+
+    /// Samples `a ~ N(μ(obs), σ²)` and returns `(action, log_prob)`.
+    pub fn sample(&self, obs: &[f64], rng: &mut impl Rng) -> Result<(Vec<f64>, f64)> {
+        let mean = self.mean_action(obs)?;
+        let std = self.std();
+        let action: Vec<f64> = mean
+            .iter()
+            .zip(&std)
+            .map(|(&m, &s)| m + s * gaussian(rng))
+            .collect();
+        let logp = self.log_prob_given_mean(&mean, &action);
+        Ok((action, logp))
+    }
+
+    /// Log-probability of `action` under a Gaussian with the given mean and
+    /// this policy's std.
+    pub fn log_prob_given_mean(&self, mean: &[f64], action: &[f64]) -> f64 {
+        debug_assert_eq!(mean.len(), action.len());
+        let mut lp = 0.0;
+        for ((&m, &a), &ls) in mean.iter().zip(action).zip(&self.log_std) {
+            let s = ls.exp();
+            let z = (a - m) / s;
+            lp += -0.5 * z * z - ls - HALF_LN_2PI;
+        }
+        lp
+    }
+
+    /// Log-probability of `obs`'s action under the *current* parameters.
+    pub fn log_prob(&self, obs: &[f64], action: &[f64]) -> Result<f64> {
+        let mean = self.mean_action(obs)?;
+        Ok(self.log_prob_given_mean(&mean, action))
+    }
+
+    /// Batched log-probabilities given a precomputed mean batch.
+    pub fn log_prob_batch(&self, means: &Matrix, actions: &Matrix) -> Result<Vec<f64>> {
+        if means.shape() != actions.shape() || means.cols() != self.action_dim() {
+            return Err(RlError::InvalidArgument(format!(
+                "log_prob_batch shape mismatch: means {:?}, actions {:?}, action_dim {}",
+                means.shape(),
+                actions.shape(),
+                self.action_dim()
+            )));
+        }
+        Ok((0..means.rows())
+            .map(|i| self.log_prob_given_mean(means.row(i), actions.row(i)))
+            .collect())
+    }
+
+    /// Differential entropy of the (state-independent-σ) Gaussian:
+    /// `Σ_d (ln σ_d + ½ ln 2πe)`.
+    pub fn entropy(&self) -> f64 {
+        self.log_std
+            .iter()
+            .map(|ls| ls + HALF_LN_2PI + 0.5)
+            .sum()
+    }
+
+    /// Training forward pass: computes the mean batch with gradient caches.
+    pub fn forward_means(&mut self, obs: &Matrix) -> Result<Matrix> {
+        match &mut self.arch {
+            MeanArch::Joint(net) => Ok(net.try_forward(obs)?),
+            MeanArch::Shared {
+                net,
+                n_devices,
+                feat_dim,
+                statics,
+            } => {
+                let input = Self::shared_input(obs, *n_devices, *feat_dim, statics)?;
+                let flat = net.try_forward(&input)?;
+                Ok(Self::fold_shared_output(&flat, obs.rows(), *n_devices))
+            }
+        }
+    }
+
+    /// Accumulates gradients of a scalar loss `L` given `∂L/∂logp_i` for each
+    /// sample of the batch last passed to [`GaussianPolicy::forward_means`].
+    ///
+    /// Chain rule for the diagonal Gaussian:
+    /// `∂logp/∂μ_d = (a_d − μ_d)/σ_d²` and
+    /// `∂logp/∂lnσ_d = ((a_d − μ_d)²/σ_d² − 1)`.
+    /// Mean-net gradients accumulate via backprop; log-std gradients
+    /// accumulate into an internal buffer read by the optimizer.
+    #[allow(clippy::needless_range_loop)] // lockstep over three matrices
+    pub fn accumulate_logprob_grads(
+        &mut self,
+        means: &Matrix,
+        actions: &Matrix,
+        dl_dlogp: &[f64],
+    ) -> Result<()> {
+        let n = means.rows();
+        if actions.shape() != means.shape() || dl_dlogp.len() != n {
+            return Err(RlError::InvalidArgument(
+                "accumulate_logprob_grads shape mismatch".to_string(),
+            ));
+        }
+        let d = self.action_dim();
+        let std = self.std();
+        let mut dmean = Matrix::zeros(n, d);
+        for i in 0..n {
+            let coef = dl_dlogp[i];
+            for j in 0..d {
+                let diff = actions.get(i, j) - means.get(i, j);
+                let var = std[j] * std[j];
+                dmean.set(i, j, coef * diff / var);
+                self.log_std_grad[j] += coef * (diff * diff / var - 1.0);
+            }
+        }
+        match &mut self.arch {
+            MeanArch::Joint(net) => {
+                net.backward(&dmean)?;
+            }
+            MeanArch::Shared { net, n_devices, .. } => {
+                // Unfold the n x N mean gradients back into the (n*N) x 1
+                // layout the shared net's cached forward batch used.
+                let nd = *n_devices;
+                let flat = Matrix::from_fn(n * nd, 1, |r, _| dmean.get(r / nd, r % nd));
+                net.backward(&flat)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds `g` to every log-std gradient (used for the entropy bonus,
+    /// whose gradient w.r.t. each `lnσ_d` is constant).
+    pub fn add_uniform_log_std_grad(&mut self, g: f64) {
+        for v in &mut self.log_std_grad {
+            *v += g;
+        }
+    }
+
+    /// Clears accumulated gradients in both the mean net and the log-std.
+    pub fn zero_grad(&mut self) {
+        self.mean_net_mut().zero_grad();
+        self.log_std_grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Copies parameters from another policy of identical architecture —
+    /// the `θ_a^old ← θ_a` sync of Algorithm 1 line 22.
+    pub fn copy_params_from(&mut self, other: &GaussianPolicy) -> Result<()> {
+        if self.log_std.len() != other.log_std.len()
+            || self.is_shared() != other.is_shared()
+        {
+            return Err(RlError::InvalidArgument(
+                "copy_params_from: architecture mismatch".to_string(),
+            ));
+        }
+        let params = other.mean_net().export_params();
+        self.mean_net_mut().import_params(&params)?;
+        self.log_std.copy_from_slice(&other.log_std);
+        Ok(())
+    }
+
+    /// True when all parameters are finite.
+    pub fn is_finite(&self) -> bool {
+        self.mean_net().export_params().iter().all(|p| p.is_finite())
+            && self.log_std.iter().all(|p| p.is_finite())
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn policy(seed: u64) -> GaussianPolicy {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        GaussianPolicy::new(3, &[8], 2, -0.5, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn dims() {
+        let p = policy(0);
+        assert_eq!(p.obs_dim(), 3);
+        assert_eq!(p.action_dim(), 2);
+        assert_eq!(p.std().len(), 2);
+        assert!((p.std()[0] - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_log_std_validation_and_clamping() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(GaussianPolicy::new(2, &[4], 1, f64::NAN, &mut rng).is_err());
+        let p = GaussianPolicy::new(2, &[4], 1, -100.0, &mut rng).unwrap();
+        assert_eq!(p.log_std()[0], LOG_STD_MIN);
+    }
+
+    #[test]
+    fn log_prob_matches_closed_form() {
+        let p = policy(2);
+        // For mean=action the density is the mode: logp = Σ(−lnσ − ½ln2π).
+        let mean = vec![0.3, -0.7];
+        let lp = p.log_prob_given_mean(&mean, &mean);
+        let expected: f64 = p.log_std().iter().map(|ls| -ls - HALF_LN_2PI).sum();
+        assert!((lp - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_prob_decreases_away_from_mean() {
+        let p = policy(3);
+        let mean = vec![0.0, 0.0];
+        let near = p.log_prob_given_mean(&mean, &[0.1, 0.0]);
+        let far = p.log_prob_given_mean(&mean, &[2.0, 0.0]);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn sample_log_prob_consistent() {
+        let p = policy(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let obs = [0.2, -0.1, 0.5];
+        let (a, lp) = p.sample(&obs, &mut rng).unwrap();
+        assert_eq!(a.len(), 2);
+        let lp2 = p.log_prob(&obs, &a).unwrap();
+        assert!((lp - lp2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_increases_with_std() {
+        let mut p = policy(6);
+        let h1 = p.entropy();
+        p.apply_log_std_delta(&[0.5, 0.5]);
+        assert!(p.entropy() > h1);
+    }
+
+    #[test]
+    fn log_std_projection() {
+        let mut p = policy(7);
+        p.apply_log_std_delta(&[100.0, -100.0]);
+        assert_eq!(p.log_std()[0], LOG_STD_MAX);
+        assert_eq!(p.log_std()[1], LOG_STD_MIN);
+    }
+
+    #[test]
+    fn copy_params_from_syncs() {
+        let a = policy(8);
+        let mut b = policy(9);
+        assert_ne!(
+            a.mean_net().export_params(),
+            b.mean_net().export_params()
+        );
+        b.copy_params_from(&a).unwrap();
+        assert_eq!(
+            a.mean_net().export_params(),
+            b.mean_net().export_params()
+        );
+        assert_eq!(a.log_std(), b.log_std());
+    }
+
+    /// The critical correctness test: analytic gradients of
+    /// `L = Σ_i w_i · logp_i` versus finite differences over *all*
+    /// parameters (mean net + log-std).
+    #[test]
+    fn logprob_gradients_match_finite_differences() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut p = policy(10);
+        let n = 4;
+        let obs = Matrix::from_fn(n, 3, |_, _| rng.gen_range(-1.0..1.0));
+        let actions = Matrix::from_fn(n, 2, |_, _| rng.gen_range(-1.0..1.0));
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let loss = |p: &GaussianPolicy| -> f64 {
+            let means = p.mean_net().infer(&obs).unwrap();
+            let lps = p.log_prob_batch(&means, &actions).unwrap();
+            lps.iter().zip(&weights).map(|(lp, w)| lp * w).sum()
+        };
+
+        // Analytic.
+        p.zero_grad();
+        let means = p.forward_means(&obs).unwrap();
+        p.accumulate_logprob_grads(&means, &actions, &weights).unwrap();
+        let mut analytic_mean_grads = Vec::new();
+        p.mean_net_mut()
+            .visit_params(|_, g| analytic_mean_grads.push(g));
+        let analytic_ls = p.log_std_grad().to_vec();
+
+        // Numeric over mean-net params.
+        let eps = 1e-6;
+        let base = p.mean_net().export_params();
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            p.mean_net_mut().import_params(&plus).unwrap();
+            let lp = loss(&p);
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            p.mean_net_mut().import_params(&minus).unwrap();
+            let lm = loss(&p);
+            p.mean_net_mut().import_params(&base).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic_mean_grads[i]).abs() < 1e-5,
+                "mean param {i}: fd={fd}, analytic={}",
+                analytic_mean_grads[i]
+            );
+        }
+
+        // Numeric over log-std params.
+        for j in 0..2 {
+            let mut pp = p.clone();
+            let mut delta = vec![0.0; 2];
+            delta[j] = eps;
+            pp.apply_log_std_delta(&delta);
+            let lp = loss(&pp);
+            let mut pm = p.clone();
+            delta[j] = -eps;
+            pm.apply_log_std_delta(&delta);
+            let lm = loss(&pm);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic_ls[j]).abs() < 1e-5,
+                "log_std {j}: fd={fd}, analytic={}",
+                analytic_ls[j]
+            );
+        }
+    }
+
+    fn shared_policy(seed: u64) -> GaussianPolicy {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // 3 devices, 2 features each, 2 static constants per device.
+        let statics = Matrix::from_fn(3, 2, |r, c| (r + c) as f64 * 0.3 - 0.2);
+        GaussianPolicy::new_shared(3, 2, statics, &[6], -0.5, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn shared_policy_dims() {
+        let p = shared_policy(40);
+        assert_eq!(p.obs_dim(), 6);
+        assert_eq!(p.action_dim(), 3);
+        assert!(p.is_shared());
+        assert!(!policy(0).is_shared());
+        // Per-device net: 4*2 feature blocks + 2 statics = 10 inputs, one
+        // output.
+        assert_eq!(p.mean_net().in_dim(), 10);
+        assert_eq!(p.mean_net().out_dim(), 1);
+    }
+
+    #[test]
+    fn shared_policy_constructor_validation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let statics = Matrix::zeros(2, 1);
+        assert!(GaussianPolicy::new_shared(3, 2, statics.clone(), &[4], -0.5, &mut rng).is_err());
+        assert!(GaussianPolicy::new_shared(0, 2, statics.clone(), &[4], -0.5, &mut rng).is_err());
+        assert!(
+            GaussianPolicy::new_shared(2, 2, statics, &[4], f64::NAN, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn shared_policy_is_permutation_consistent() {
+        // Devices with identical features and statics must get identical
+        // means — weight sharing in action.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let statics = Matrix::from_fn(3, 2, |_, c| c as f64 * 0.5);
+        let p = GaussianPolicy::new_shared(3, 2, statics, &[6], -0.5, &mut rng).unwrap();
+        let obs = vec![0.4, -0.1, 0.4, -0.1, 0.4, -0.1];
+        let m = p.mean_action(&obs).unwrap();
+        assert!((m[0] - m[1]).abs() < 1e-12);
+        assert!((m[1] - m[2]).abs() < 1e-12);
+        // Different feature block -> different mean.
+        let obs2 = vec![0.4, -0.1, 0.9, 0.3, 0.4, -0.1];
+        let m2 = p.mean_action(&obs2).unwrap();
+        assert!((m2[0] - m2[2]).abs() < 1e-12);
+        assert!((m2[0] - m2[1]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn shared_forward_matches_infer() {
+        let mut p = shared_policy(43);
+        let obs = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f64 * 0.17).sin());
+        let trained = p.forward_means(&obs).unwrap();
+        let inferred = p.infer_means(&obs).unwrap();
+        assert_eq!(trained, inferred);
+        assert_eq!(trained.shape(), (4, 3));
+    }
+
+    /// Finite-difference gradient check for the SHARED architecture — the
+    /// reshape/aggregate plumbing must not corrupt backprop.
+    #[test]
+    fn shared_logprob_gradients_match_finite_differences() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        let mut p = shared_policy(44);
+        let n = 3;
+        let obs = Matrix::from_fn(n, 6, |_, _| rng.gen_range(-1.0..1.0));
+        let actions = Matrix::from_fn(n, 3, |_, _| rng.gen_range(-1.0..1.0));
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let loss = |p: &GaussianPolicy| -> f64 {
+            let means = p.infer_means(&obs).unwrap();
+            let lps = p.log_prob_batch(&means, &actions).unwrap();
+            lps.iter().zip(&weights).map(|(lp, w)| lp * w).sum()
+        };
+
+        p.zero_grad();
+        let means = p.forward_means(&obs).unwrap();
+        p.accumulate_logprob_grads(&means, &actions, &weights).unwrap();
+        let mut analytic = Vec::new();
+        p.mean_net_mut().visit_params(|_, g| analytic.push(g));
+
+        let eps = 1e-6;
+        let base = p.mean_net().export_params();
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            p.mean_net_mut().import_params(&plus).unwrap();
+            let lp = loss(&p);
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            p.mean_net_mut().import_params(&minus).unwrap();
+            let lm = loss(&p);
+            p.mean_net_mut().import_params(&base).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[i]).abs() < 1e-5,
+                "shared param {i}: fd={fd}, analytic={}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn copy_params_rejects_arch_mismatch() {
+        let joint = policy(45);
+        let mut shared = shared_policy(45);
+        // Same action_dim (3 vs 2?) — policy() has action dim 2, shared 3;
+        // build a joint with 3 actions to isolate the arch check.
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let joint3 = GaussianPolicy::new(6, &[4], 3, -0.5, &mut rng).unwrap();
+        assert!(shared.copy_params_from(&joint3).is_err());
+        let _ = joint;
+    }
+
+    #[test]
+    fn batch_log_prob_shape_validation() {
+        let p = policy(11);
+        let means = Matrix::zeros(2, 2);
+        let actions = Matrix::zeros(3, 2);
+        assert!(p.log_prob_batch(&means, &actions).is_err());
+    }
+
+    #[test]
+    fn finite_check() {
+        let p = policy(12);
+        assert!(p.is_finite());
+    }
+}

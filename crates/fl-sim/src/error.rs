@@ -1,0 +1,70 @@
+//! Error type for the fl-sim crate.
+
+use std::fmt;
+
+/// Errors raised by the FL system model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration or constructor argument was invalid.
+    InvalidArgument(String),
+    /// A frequency action was outside `(0, δ_i^max]` for some device.
+    FrequencyOutOfRange {
+        /// Offending device index.
+        device: usize,
+        /// The requested frequency (GHz).
+        freq: f64,
+        /// That device's cap (GHz).
+        max: f64,
+    },
+    /// A trace-level failure bubbled up from `fl-net`.
+    Net(fl_net::NetError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SimError::FrequencyOutOfRange { device, freq, max } => write!(
+                f,
+                "device {device}: frequency {freq} GHz outside (0, {max}]"
+            ),
+            SimError::Net(e) => write!(f, "network trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fl_net::NetError> for SimError {
+    fn from(e: fl_net::NetError) -> Self {
+        SimError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SimError::FrequencyOutOfRange {
+            device: 2,
+            freq: 3.0,
+            max: 2.0,
+        };
+        assert!(e.to_string().contains("device 2"));
+        assert!(e.source().is_none());
+
+        let n: SimError = fl_net::NetError::Parse("x".into()).into();
+        assert!(n.to_string().contains("x"));
+        assert!(n.source().is_some());
+    }
+}

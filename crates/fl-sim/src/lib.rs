@@ -1,0 +1,69 @@
+//! # fl-sim — the synchronized federated-learning system model
+//!
+//! Implements the paper's system model (Section III) as a discrete-event
+//! simulation driven by bandwidth traces from `fl-net`:
+//!
+//! * [`MobileDevice`] — per-device constants `c_i` (cycles/bit), `D_i`
+//!   (MB of training data), `α_i` (effective capacitance), `δ_i^max`
+//!   (GHz frequency cap), and `e_i` (radio transmit power),
+//!   with [`DeviceSampler`] reproducing the paper's uniform ranges
+//!   (`D_i ~ U(50,100) MB`, `c_i ~ U(10,30) cycles/bit`,
+//!   `δ^max ~ U(1.0, 2.0) GHz`),
+//! * [`FlSystem`] — one synchronized training iteration (Eqs. 1–6):
+//!   compute time `τ c_i D_i / δ_i`, trace-integrated upload time,
+//!   `T^k = max_i T_i^k`, idle-time accounting, and the energy model
+//!   `E_i = α_i τ c_i D_i δ_i² + e_i t_com`,
+//! * [`IterationReport`] / [`SessionLedger`] — per-iteration and cumulative
+//!   metrics (system cost `T^k + λ Σ E_i^k`, Eq. 9) consumed by the figure
+//!   harness.
+//!
+//! Units: time s, frequency GHz, data MB, bandwidth MB/s, energy J. Work is
+//! tracked in **gigacycles** so `Gcycles / GHz = seconds` directly.
+//!
+//! Note on Eq. (6): the paper's energy expression omits the `τ` factor that
+//! Eq. (1) applies to the cycle count. We keep `τ` in both (energy scales
+//! with work actually performed); with the paper's implied `τ = 1` the two
+//! readings coincide.
+//!
+//! ## Example
+//!
+//! ```
+//! use fl_sim::{DeviceSampler, FlConfig, FlSystem};
+//! use fl_net::{synth::Profile, TraceSet};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let traces = TraceSet::from_profile(Profile::Walking4G, 2, 600, 1.0, &mut rng)?;
+//! let devices = DeviceSampler::default().sample_fleet(&traces.assign(3, &mut rng), &mut rng);
+//! let sys = FlSystem::new(devices, traces, FlConfig::default())?;
+//! // One synchronized iteration with every device at its frequency cap:
+//! let freqs: Vec<f64> = sys.devices().iter().map(|d| d.delta_max_ghz).collect();
+//! let report = sys.run_iteration(0.0, &freqs)?;
+//! assert!(report.duration > 0.0);                 // T^k  (Eq. 5)
+//! assert!(report.total_energy() > 0.0);           // sum E_i (Eq. 6)
+//! assert!(report.cost(0.5) > report.duration);    // T^k + lambda*sum E (Eq. 9 term)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards reject NaN along with out-of-range values;
+// clippy's suggested inversion (`x <= 0.0`) would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod async_engine;
+mod battery;
+mod device;
+mod error;
+mod report;
+mod system;
+
+pub use async_engine::{run_async, AsyncArrival, AsyncSession};
+pub use battery::{Battery, FleetBattery};
+pub use device::{DeviceSampler, MobileDevice, Range};
+pub use error::SimError;
+pub use report::{DeviceOutcome, IterationReport, SessionLedger};
+pub use system::{FlConfig, FlSystem};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,429 @@
+//! The synchronized-iteration engine.
+
+use crate::report::{DeviceOutcome, IterationReport};
+use crate::{MobileDevice, Result, SimError};
+use fl_net::TraceSet;
+use serde::{Deserialize, Serialize};
+
+/// Task-level configuration shared by all devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// `τ`: local training passes per iteration.
+    pub tau: u32,
+    /// `ξ`: model size uploaded each iteration (MB).
+    pub model_size_mb: f64,
+    /// `λ`: energy weight in the system cost (Eq. 9).
+    pub lambda: f64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            tau: 1,
+            model_size_mb: 10.0,
+            lambda: 0.25,
+        }
+    }
+}
+
+impl FlConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.tau == 0 {
+            return Err(SimError::InvalidArgument("tau must be >= 1".to_string()));
+        }
+        if !(self.model_size_mb > 0.0) || !self.model_size_mb.is_finite() {
+            return Err(SimError::InvalidArgument(format!(
+                "model_size_mb must be positive, got {}",
+                self.model_size_mb
+            )));
+        }
+        if !(self.lambda >= 0.0) || !self.lambda.is_finite() {
+            return Err(SimError::InvalidArgument(format!(
+                "lambda must be non-negative, got {}",
+                self.lambda
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The federated-learning system of Section III: a fleet of devices, their
+/// bandwidth traces, and the synchronized-iteration timing/energy model.
+///
+/// `FlSystem` is deliberately *policy-free*: callers (the DRL environment,
+/// the baselines, the figure harness) pick the frequency vector and this
+/// type evaluates one iteration of the physics.
+#[derive(Debug, Clone)]
+pub struct FlSystem {
+    devices: Vec<MobileDevice>,
+    traces: TraceSet,
+    config: FlConfig,
+}
+
+impl FlSystem {
+    /// Builds a system, validating devices, trace indices, and config.
+    pub fn new(devices: Vec<MobileDevice>, traces: TraceSet, config: FlConfig) -> Result<Self> {
+        config.validate()?;
+        if devices.is_empty() {
+            return Err(SimError::InvalidArgument(
+                "need at least one device".to_string(),
+            ));
+        }
+        for d in &devices {
+            d.validate()?;
+            if d.trace_idx >= traces.len() {
+                return Err(SimError::InvalidArgument(format!(
+                    "device {} references trace {} but only {} traces exist",
+                    d.id,
+                    d.trace_idx,
+                    traces.len()
+                )));
+            }
+        }
+        Ok(FlSystem {
+            devices,
+            traces,
+            config,
+        })
+    }
+
+    /// The fleet.
+    pub fn devices(&self) -> &[MobileDevice] {
+        &self.devices
+    }
+
+    /// Number of devices `N`.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The trace pool.
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The trace device `i` follows.
+    pub fn trace_of(&self, device: usize) -> &fl_net::BandwidthTrace {
+        self.traces
+            .get(self.devices[device].trace_idx)
+            .expect("trace indices validated at construction")
+    }
+
+    /// Task configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Replaces λ (used by the λ-sweep ablation without rebuilding traces).
+    pub fn set_lambda(&mut self, lambda: f64) -> Result<()> {
+        let mut c = self.config;
+        c.lambda = lambda;
+        c.validate()?;
+        self.config = c;
+        Ok(())
+    }
+
+    /// Clamps a raw action vector into the feasible region `(0, δ_i^max]`,
+    /// with `min_frac · δ_max` as the floor so compute time stays finite.
+    pub fn clamp_freqs(&self, raw: &[f64], min_frac: f64) -> Vec<f64> {
+        self.devices
+            .iter()
+            .zip(raw)
+            .map(|(d, &f)| f.clamp(min_frac * d.delta_max_ghz, d.delta_max_ghz))
+            .collect()
+    }
+
+    /// Runs one synchronized iteration starting at `t_start` with the given
+    /// per-device CPU frequencies (GHz).
+    ///
+    /// For each device: compute for `τ c_i D_i / δ_i` seconds (Eq. 1), then
+    /// upload `ξ` MB through its trace starting the moment computation ends
+    /// — the upload duration is solved exactly against the time-varying
+    /// bandwidth, and Eq. (3)'s realized average bandwidth is reported.
+    /// `T^k` is the max over devices (Eq. 5); idle time is `T^k − T_i^k`.
+    pub fn run_iteration(&self, t_start: f64, freqs: &[f64]) -> Result<IterationReport> {
+        if freqs.len() != self.devices.len() {
+            return Err(SimError::InvalidArgument(format!(
+                "expected {} frequencies, got {}",
+                self.devices.len(),
+                freqs.len()
+            )));
+        }
+        if !(t_start.is_finite()) || t_start < 0.0 {
+            return Err(SimError::InvalidArgument(format!(
+                "t_start must be finite and non-negative, got {t_start}"
+            )));
+        }
+        let mut outcomes = Vec::with_capacity(self.devices.len());
+        let mut t_max: f64 = 0.0;
+        for (d, &freq) in self.devices.iter().zip(freqs) {
+            if !(freq > 0.0) || freq > d.delta_max_ghz + 1e-12 || !freq.is_finite() {
+                return Err(SimError::FrequencyOutOfRange {
+                    device: d.id,
+                    freq,
+                    max: d.delta_max_ghz,
+                });
+            }
+            let compute_time = d.compute_time(self.config.tau, freq);
+            let upload_start = t_start + compute_time;
+            let trace = self
+                .traces
+                .get(d.trace_idx)
+                .expect("validated at construction");
+            let comm_time = trace.transfer_time(upload_start, self.config.model_size_mb)?;
+            let avg_bandwidth = if comm_time > 0.0 {
+                self.config.model_size_mb / comm_time
+            } else {
+                trace.bandwidth_at(upload_start)?
+            };
+            let total = compute_time + comm_time;
+            t_max = t_max.max(total);
+            outcomes.push(DeviceOutcome {
+                freq_ghz: freq,
+                compute_time,
+                comm_time,
+                idle_time: 0.0, // filled in below once T^k is known
+                compute_energy: d.compute_energy(self.config.tau, freq),
+                comm_energy: d.comm_energy(comm_time),
+                avg_bandwidth,
+            });
+        }
+        for o in &mut outcomes {
+            o.idle_time = t_max - o.total_time();
+        }
+        Ok(IterationReport {
+            start_time: t_start,
+            duration: t_max,
+            devices: outcomes,
+        })
+    }
+
+    /// Builds the DRL state for iteration start time `t`: for every device,
+    /// the `history_len + 1` most recent `h`-second slot-average bandwidths
+    /// (newest first), concatenated device-major — exactly the
+    /// `s_k = (B_1^k, ..., B_N^k)` of Section IV-B1.
+    pub fn observe_bandwidth_state(
+        &self,
+        t: f64,
+        slot_h: f64,
+        history_len: usize,
+    ) -> Result<Vec<f64>> {
+        let mut state = Vec::with_capacity(self.devices.len() * (history_len + 1));
+        for d in &self.devices {
+            let trace = self
+                .traces
+                .get(d.trace_idx)
+                .expect("validated at construction");
+            state.extend(trace.history(t, slot_h, history_len)?);
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceSampler;
+    use fl_net::BandwidthTrace;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn flat_traces(bws: &[f64]) -> TraceSet {
+        TraceSet::new(
+            bws.iter()
+                .map(|&b| BandwidthTrace::new(1.0, vec![b; 4]).unwrap().cyclic())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn simple_device(id: usize, trace_idx: usize, dmax: f64) -> MobileDevice {
+        MobileDevice {
+            id,
+            cycles_per_bit: 20.0,
+            data_mb: 62.5, // 20 * 62.5 * 8e6 / 1e9 = 10 Gcycles
+            alpha: 0.1,
+            delta_max_ghz: dmax,
+            tx_power_w: 0.2,
+            trace_idx,
+        }
+    }
+
+    fn system() -> FlSystem {
+        let devices = vec![simple_device(0, 0, 2.0), simple_device(1, 1, 2.0)];
+        let traces = flat_traces(&[2.0, 5.0]);
+        FlSystem::new(devices, traces, FlConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let traces = flat_traces(&[1.0]);
+        assert!(FlSystem::new(vec![], traces.clone(), FlConfig::default()).is_err());
+        // Bad trace index.
+        let d = simple_device(0, 5, 2.0);
+        assert!(FlSystem::new(vec![d], traces.clone(), FlConfig::default()).is_err());
+        // Bad config.
+        let d = simple_device(0, 0, 2.0);
+        let bad = FlConfig {
+            tau: 0,
+            ..FlConfig::default()
+        };
+        assert!(FlSystem::new(vec![d.clone()], traces.clone(), bad).is_err());
+        let bad_lambda = FlConfig {
+            lambda: -1.0,
+            ..FlConfig::default()
+        };
+        assert!(FlSystem::new(vec![d], traces, bad_lambda).is_err());
+    }
+
+    #[test]
+    fn iteration_physics_by_hand() {
+        // Device 0: 10 Gcycles at 2 GHz = 5 s compute; 10 MB at 2 MB/s = 5 s
+        // upload → T_0 = 10. Device 1: 5 s compute, 2 s upload → T_1 = 7.
+        let sys = system();
+        let r = sys.run_iteration(0.0, &[2.0, 2.0]).unwrap();
+        assert!((r.duration - 10.0).abs() < 1e-9);
+        assert!((r.devices[0].total_time() - 10.0).abs() < 1e-9);
+        assert!((r.devices[1].total_time() - 7.0).abs() < 1e-9);
+        assert!((r.devices[1].idle_time - 3.0).abs() < 1e-9);
+        assert!((r.devices[0].idle_time).abs() < 1e-9);
+        // Realized bandwidth equals the flat trace bandwidth.
+        assert!((r.devices[0].avg_bandwidth - 2.0).abs() < 1e-9);
+        assert!((r.devices[1].avg_bandwidth - 5.0).abs() < 1e-9);
+        // Energy: α τ ε δ² = 0.1*1*10*4 = 4 J compute each; comm 0.2W * t.
+        assert!((r.devices[0].compute_energy - 4.0).abs() < 1e-9);
+        assert!((r.devices[0].comm_energy - 1.0).abs() < 1e-9);
+        assert!((r.devices[1].comm_energy - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowing_fast_device_saves_energy_without_hurting_time() {
+        // The paper's motivating observation (Fig. 3): device 1 idles 3 s at
+        // full speed, so it can run slower for free.
+        let sys = system();
+        let fast = sys.run_iteration(0.0, &[2.0, 2.0]).unwrap();
+        // Slow device 1 so its total time is exactly 10 s:
+        // compute = 10/δ, comm = 2 → δ = 10/8 = 1.25.
+        let tuned = sys.run_iteration(0.0, &[2.0, 1.25]).unwrap();
+        assert!((tuned.duration - fast.duration).abs() < 1e-9);
+        assert!(tuned.total_energy() < fast.total_energy());
+        assert!(tuned.devices[1].idle_time.abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_bounds_enforced() {
+        let sys = system();
+        assert!(matches!(
+            sys.run_iteration(0.0, &[2.5, 2.0]),
+            Err(SimError::FrequencyOutOfRange { device: 0, .. })
+        ));
+        assert!(matches!(
+            sys.run_iteration(0.0, &[2.0, 0.0]),
+            Err(SimError::FrequencyOutOfRange { device: 1, .. })
+        ));
+        assert!(sys.run_iteration(0.0, &[2.0]).is_err()); // wrong arity
+        assert!(sys.run_iteration(-1.0, &[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn clamp_freqs_respects_caps() {
+        let sys = system();
+        let clamped = sys.clamp_freqs(&[99.0, -1.0], 0.05);
+        assert_eq!(clamped[0], 2.0);
+        assert_eq!(clamped[1], 0.1);
+        assert!(sys.run_iteration(0.0, &clamped).is_ok());
+    }
+
+    #[test]
+    fn upload_rides_time_varying_bandwidth() {
+        // Trace: 1 MB/s for 10 s then 10 MB/s. Upload starting at t=5 with
+        // 10 MB: 5 MB in [5,10), then 5 MB at 10 MB/s = 0.5 s → 5.5 s total.
+        let mut slots = vec![1.0; 10];
+        slots.extend(vec![10.0; 10]);
+        let traces = TraceSet::new(vec![BandwidthTrace::new(1.0, slots).unwrap().cyclic()])
+            .unwrap();
+        // 10 Gcycles at 2 GHz = 5 s compute.
+        let d = simple_device(0, 0, 2.0);
+        let sys = FlSystem::new(vec![d], traces, FlConfig::default()).unwrap();
+        let r = sys.run_iteration(0.0, &[2.0]).unwrap();
+        assert!((r.devices[0].comm_time - 5.5).abs() < 1e-9);
+        // Eq. (3): realized avg bandwidth = 10 MB / 5.5 s.
+        assert!((r.devices[0].avg_bandwidth - 10.0 / 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observe_bandwidth_state_layout() {
+        let sys = system();
+        let s = sys.observe_bandwidth_state(7.0, 1.0, 2).unwrap();
+        // 2 devices × (H+1 = 3) entries; flat traces → constant values.
+        assert_eq!(s.len(), 6);
+        assert!(s[..3].iter().all(|&v| (v - 2.0).abs() < 1e-9));
+        assert!(s[3..].iter().all(|&v| (v - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn set_lambda_validates() {
+        let mut sys = system();
+        assert!(sys.set_lambda(0.5).is_ok());
+        assert_eq!(sys.config().lambda, 0.5);
+        assert!(sys.set_lambda(-0.5).is_err());
+    }
+
+    #[test]
+    fn randomized_fleet_runs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let traces = TraceSet::from_profile(
+            fl_net::synth::Profile::Walking4G,
+            3,
+            600,
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        let assignment = traces.assign(5, &mut rng);
+        let devices = DeviceSampler::default().sample_fleet(&assignment, &mut rng);
+        let sys = FlSystem::new(devices, traces, FlConfig::default()).unwrap();
+        let freqs: Vec<f64> = sys.devices().iter().map(|d| d.delta_max_ghz).collect();
+        let mut t = 0.0;
+        for _ in 0..20 {
+            let r = sys.run_iteration(t, &freqs).unwrap();
+            assert!(r.duration > 0.0 && r.duration.is_finite());
+            assert!(r.total_energy() > 0.0);
+            t = r.end_time();
+        }
+    }
+
+    proptest! {
+        /// T^k is exactly the max of the per-device totals, and idle times
+        /// are non-negative with at least one (the straggler) zero.
+        #[test]
+        fn prop_sync_invariants(f0 in 0.2f64..2.0, f1 in 0.2f64..2.0) {
+            let sys = system();
+            let r = sys.run_iteration(0.0, &[f0, f1]).unwrap();
+            let max_total = r
+                .devices
+                .iter()
+                .map(|d| d.total_time())
+                .fold(0.0f64, f64::max);
+            prop_assert!((r.duration - max_total).abs() < 1e-9);
+            prop_assert!(r.devices.iter().all(|d| d.idle_time >= -1e-9));
+            let min_idle = r.devices.iter().map(|d| d.idle_time).fold(f64::INFINITY, f64::min);
+            prop_assert!(min_idle.abs() < 1e-9);
+        }
+
+        /// Lowering any device's frequency never lowers iteration duration
+        /// and never raises its compute energy.
+        #[test]
+        fn prop_freq_monotonicity(f in 0.2f64..2.0) {
+            let sys = system();
+            let base = sys.run_iteration(0.0, &[2.0, 2.0]).unwrap();
+            let slowed = sys.run_iteration(0.0, &[2.0, f]).unwrap();
+            prop_assert!(slowed.duration >= base.duration - 1e-9);
+            prop_assert!(
+                slowed.devices[1].compute_energy <= base.devices[1].compute_energy + 1e-9
+            );
+        }
+    }
+}

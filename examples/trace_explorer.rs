@@ -1,0 +1,78 @@
+//! Explore the synthetic bandwidth models: generate traces from every
+//! profile, print their statistics, and export one as CSV/JSON.
+//!
+//! ```bash
+//! cargo run --release --example trace_explorer
+//! ```
+
+use fl_net::stats;
+use fl_net::synth::Profile;
+use fl_net::{io, TraceSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let duration = 1200;
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "profile", "min", "mean", "max", "std", "autocorr1", "autocorr60"
+    );
+    for profile in Profile::all() {
+        let t = profile.generate(duration, 1.0, &mut rng).expect("generate");
+        let s = stats::Summary::of(t.slots()).expect("non-empty");
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2} {:>10.2}",
+            format!("{profile:?}"),
+            s.min,
+            s.mean,
+            s.max,
+            s.std,
+            stats::autocorrelation(t.slots(), 1),
+            stats::autocorrelation(t.slots(), 60),
+        );
+    }
+
+    // Upload-time distribution: how long does a 10 MB model take from a
+    // random instant of a walking trace?
+    let t = Profile::Walking4G
+        .generate(3600, 1.0, &mut rng)
+        .expect("generate")
+        .cyclic();
+    let uploads: Vec<f64> = (0..500)
+        .map(|i| t.transfer_time(i as f64 * 7.0, 10.0).expect("transfer"))
+        .collect();
+    let cdf = stats::EmpiricalCdf::new(&uploads);
+    println!("\n10 MB upload time on a walking trace (500 random starts):");
+    println!("  P(upload <= 5 s) = {:.2}", cdf.eval(5.0));
+    for p in [10.0, 50.0, 90.0, 99.0] {
+        println!(
+            "  p{p:<4} {:>8.2} s",
+            stats::percentile(&uploads, p).expect("non-empty")
+        );
+    }
+    println!(
+        "  min {:.2} s / max {:.2} s — the straggler variability the scheduler rides",
+        uploads.iter().copied().fold(f64::INFINITY, f64::min),
+        uploads.iter().copied().fold(0.0f64, f64::max)
+    );
+
+    // Pool assignment, like the paper's "each device randomly selects one
+    // dataset".
+    let set = TraceSet::from_profile(Profile::Walking4G, 5, 600, 1.0, &mut rng).expect("pool");
+    let assignment = set.assign(12, &mut rng);
+    println!("\n12 devices over a 5-trace pool: assignment {assignment:?}");
+
+    // Export: CSV for spreadsheets, JSON for tooling.
+    let csv = io::to_csv(set.get(0).expect("exists"));
+    println!(
+        "\nCSV export preview (first 3 lines of {} total):",
+        csv.lines().count()
+    );
+    for line in csv.lines().take(3) {
+        println!("  {line}");
+    }
+    let json = io::to_json(set.get(0).expect("exists")).expect("serialize");
+    println!("JSON export: {} bytes", json.len());
+}
