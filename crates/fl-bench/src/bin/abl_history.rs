@@ -21,7 +21,10 @@ fn main() {
     let scenario = Scenario::testbed();
     let sys = scenario.build();
     let mut results = Vec::new();
-    println!("{:>4} {:>12} {:>12} {:>12}", "H", "mean cost", "mean time", "mean energy");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "H", "mean cost", "mean time", "mean energy"
+    );
     for &h in &histories {
         let mut config = scenario.train_config(episodes);
         config.env.history_len = h;

@@ -6,12 +6,15 @@
 //! iterations, and the gap between energy-aware controllers and MaxFreq
 //! widens. DESIGN.md lists this as the first design-choice ablation.
 //!
+//! The λ points are independent, so they run across the work-stealing pool
+//! (`FL_WORKERS` caps the threads; output is identical for any value).
+//!
 //! Usage: `cargo run --release -p fl-bench --bin abl_lambda [iters]`
 
-use fl_bench::{dump_json, Scenario};
+use fl_bench::{dump_json, workers_from_env, Scenario};
 use fl_ctrl::{
-    compare_controllers, FrequencyController, HeuristicController, MaxFreqController,
-    OracleController, StaticController,
+    compare_controllers, run_parallel_sweep, FrequencyController, HeuristicController,
+    MaxFreqController, OracleController, StaticController,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -22,12 +25,8 @@ fn main() {
     let lambdas = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
 
     let scenario = Scenario::testbed();
-    let mut results = Vec::new();
-    println!(
-        "{:>7} {:>10} {:>28} {:>28} {:>28}",
-        "lambda", "", "heuristic (cost/time/E)", "static (cost/time/E)", "oracle (cost/time/E)"
-    );
-    for &lambda in &lambdas {
+    let workers = workers_from_env();
+    let (rows, report) = run_parallel_sweep(workers, lambdas.to_vec(), |_, lambda| {
         let mut sc = scenario.clone();
         sc.fl.lambda = lambda;
         let sys = sc.build();
@@ -39,8 +38,17 @@ fn main() {
             Box::new(stat),
             Box::new(OracleController::default()),
         ];
-        let runs =
-            compare_controllers(&sys, controllers, iterations, 200.0).expect("evaluation");
+        let runs = compare_controllers(&sys, controllers, iterations, 200.0)?;
+        Ok((lambda, runs))
+    })
+    .expect("lambda sweep");
+
+    let mut results = Vec::new();
+    println!(
+        "{:>7} {:>10} {:>28} {:>28} {:>28}",
+        "lambda", "", "heuristic (cost/time/E)", "static (cost/time/E)", "oracle (cost/time/E)"
+    );
+    for (lambda, runs) in &rows {
         let fmt = |i: usize| {
             let (c, t, e) = runs[i].summary();
             format!("{c:8.2}/{t:6.2}/{e:6.2}")
@@ -67,5 +75,6 @@ fn main() {
     // The qualitative checks the ablation is after.
     println!("\nexpected shape: oracle energy decreases monotonically in lambda;");
     println!("                oracle time weakly increases; maxfreq time constant.");
+    println!("timing: {}", report.timing_line());
     dump_json("abl_lambda.json", &serde_json::json!({"sweep": results}));
 }

@@ -11,8 +11,7 @@
 
 use fl_bench::{dump_json, Scenario};
 use fl_ctrl::{
-    FrequencyController, HeuristicController, MaxFreqController, OracleController,
-    StaticController,
+    FrequencyController, HeuristicController, MaxFreqController, OracleController, StaticController,
 };
 use fl_sim::FleetBattery;
 use rand::SeedableRng;
@@ -45,8 +44,7 @@ fn main() {
     let mut results = Vec::new();
     for ctrl in controllers.iter_mut() {
         ctrl.reset();
-        let mut fleet =
-            FleetBattery::uniform(sys.num_devices(), budget_j).expect("battery fleet");
+        let mut fleet = FleetBattery::uniform(sys.num_devices(), budget_j).expect("battery fleet");
         let mut t = 200.0;
         let mut prev = None;
         let mut wall = 0.0;

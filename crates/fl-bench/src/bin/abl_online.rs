@@ -21,7 +21,10 @@ fn main() {
     // Train on the walking profile...
     let scenario = Scenario::testbed();
     let train_sys = scenario.build();
-    println!("training on {:?} ({episodes} episodes)...", scenario.profile);
+    println!(
+        "training on {:?} ({episodes} episodes)...",
+        scenario.profile
+    );
     let out = scenario.train(&train_sys, episodes);
     let config = scenario.train_config(episodes);
 
@@ -51,7 +54,10 @@ fn main() {
     .expect("online controller");
     let online_run =
         run_controller(&deploy_sys, &mut online, iterations, 200.0).expect("online run");
-    println!("online controller performed {} PPO updates in-flight", online.updates());
+    println!(
+        "online controller performed {} PPO updates in-flight",
+        online.updates()
+    );
 
     let runs = vec![frozen_run, online_run];
     print_summary_table("frozen vs continual learning under route shift", &runs);

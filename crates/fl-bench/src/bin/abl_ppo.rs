@@ -34,7 +34,9 @@ fn main() {
         let mut ctrl = out.controller;
         let run = run_controller(&sys, &mut ctrl, iterations, 200.0).expect("evaluation");
         let (c, t, e) = run.summary();
-        println!("{label:<24} plateau={plateau:>8.3} online cost={c:>8.3} time={t:>7.3} energy={e:>7.3}");
+        println!(
+            "{label:<24} plateau={plateau:>8.3} online cost={c:>8.3} time={t:>7.3} energy={e:>7.3}"
+        );
         results.push(serde_json::json!({
             "config": label,
             "train_plateau": plateau,

@@ -69,10 +69,8 @@ fn main() {
             .expect("ctor"),
         ),
         Box::new(
-            PredictiveController::uniform("ar1", &sys, 0.1, |p| {
-                Box::new(predict::Ar1::new(p))
-            })
-            .expect("ctor"),
+            PredictiveController::uniform("ar1", &sys, 0.1, |p| Box::new(predict::Ar1::new(p)))
+                .expect("ctor"),
         ),
         Box::new(HeuristicController::default()),
         Box::new(stat),

@@ -7,12 +7,16 @@
 //! mean ± std of each controller's online cost, plus how often DRL is the
 //! best deployable controller.
 //!
+//! The seeds are independent worlds, so they fan out across the
+//! work-stealing pool (`FL_WORKERS` bounds the thread count; results are
+//! identical for any value — only the reported timing changes).
+//!
 //! Usage: `cargo run --release -p fl-bench --bin abl_seeds [n_seeds] [episodes]`
 
-use fl_bench::{dump_json, Scenario};
+use fl_bench::{dump_json, workers_from_env, Scenario};
 use fl_ctrl::{
-    compare_controllers, FrequencyController, HeuristicController, MaxFreqController,
-    StaticController,
+    compare_controllers, run_parallel_sweep, FrequencyController, HeuristicController,
+    MaxFreqController, StaticController,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -23,10 +27,12 @@ fn main() {
     let n_seeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let episodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(800);
     let iterations = 300;
+    let workers = workers_from_env();
 
-    let mut per_controller: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    let mut drl_wins = 0usize;
-    for s in 0..n_seeds {
+    // One task per seed: build world, train, evaluate. Each task derives
+    // every RNG from its own seed, so the sweep is order- and
+    // thread-count-invariant.
+    let (per_seed, report) = run_parallel_sweep(workers, (0..n_seeds).collect(), |_, s| {
         let mut scenario = Scenario::testbed();
         scenario.seed = scenario.seed.wrapping_add(1000 * s as u64);
         scenario.name = format!("seeds-{s}");
@@ -40,12 +46,17 @@ fn main() {
             Box::new(stat),
             Box::new(MaxFreqController),
         ];
-        let runs = compare_controllers(&sys, controllers, iterations, 200.0)
-            .expect("evaluation");
-        let costs: Vec<(String, f64)> = runs
+        let runs = compare_controllers(&sys, controllers, iterations, 200.0)?;
+        Ok(runs
             .iter()
             .map(|r| (r.name.clone(), r.ledger.mean_cost()))
-            .collect();
+            .collect::<Vec<(String, f64)>>())
+    })
+    .expect("seed sweep");
+
+    let mut per_controller: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut drl_wins = 0usize;
+    for (s, costs) in per_seed.iter().enumerate() {
         let drl_cost = costs[0].1;
         let best_other = costs[1..]
             .iter()
@@ -55,7 +66,7 @@ fn main() {
             drl_wins += 1;
         }
         print!("seed {s}:");
-        for (name, c) in &costs {
+        for (name, c) in costs {
             print!("  {name}={c:.2}");
             per_controller.entry(name.clone()).or_default().push(*c);
         }
@@ -66,16 +77,14 @@ fn main() {
     let mut results = Vec::new();
     for (name, costs) in &per_controller {
         let mean = costs.iter().sum::<f64>() / costs.len() as f64;
-        let var = costs.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-            / costs.len() as f64;
+        let var = costs.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / costs.len() as f64;
         println!("{name:<12} {mean:>10.3} {:>8.3}", var.sqrt());
         results.push(serde_json::json!({
             "name": name, "mean": mean, "std": var.sqrt(), "costs": costs,
         }));
     }
-    println!(
-        "\nDRL best deployable controller in {drl_wins}/{n_seeds} independent worlds."
-    );
+    println!("\nDRL best deployable controller in {drl_wins}/{n_seeds} independent worlds.");
+    println!("timing: {}", report.timing_line());
     dump_json(
         "abl_seeds.json",
         &serde_json::json!({"n_seeds": n_seeds, "drl_wins": drl_wins, "results": results}),

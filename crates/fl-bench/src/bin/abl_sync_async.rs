@@ -58,8 +58,8 @@ fn main() {
     let mut async_points = Vec::new();
     {
         let session = run_async(&sys, &freqs, t0, t0 + wall).expect("async session");
-        let mut fed = AsyncFedAvg::new(model.clone(), n, AsyncFedAvgConfig::default())
-            .expect("async fedavg");
+        let mut fed =
+            AsyncFedAvg::new(model.clone(), n, AsyncFedAvgConfig::default()).expect("async fedavg");
         let mut fed_rng = ChaCha8Rng::seed_from_u64(810);
         let mut staleness_sum = 0usize;
         for a in &session.arrivals {

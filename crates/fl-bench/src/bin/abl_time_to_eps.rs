@@ -11,8 +11,7 @@
 
 use fl_bench::{dump_json, Scenario};
 use fl_ctrl::{
-    FrequencyController, HeuristicController, MaxFreqController, OracleController,
-    StaticController,
+    FrequencyController, HeuristicController, MaxFreqController, OracleController, StaticController,
 };
 use fl_learn::{data, FedAvg, FedAvgConfig, LocalTrainer};
 use rand::SeedableRng;

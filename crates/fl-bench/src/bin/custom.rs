@@ -22,8 +22,8 @@ fn main() {
             );
         }
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             let config = ExperimentConfig::from_json(&text)
                 .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
             println!(

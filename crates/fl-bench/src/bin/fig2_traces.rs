@@ -62,9 +62,16 @@ fn main() {
 
     // Paper-envelope checks, printed so deviations are visible.
     let wmax = walking.iter().map(|t| t.max()).fold(0.0f64, f64::max);
-    let wmin = walking.iter().map(|t| t.min()).fold(f64::INFINITY, f64::min);
+    let wmin = walking
+        .iter()
+        .map(|t| t.min())
+        .fold(f64::INFINITY, f64::min);
     println!("\nchecks: walking envelope [{wmin:.2}, {wmax:.2}] MB/s (paper: <1 to ~9)");
-    println!("        bus envelope [{:.3}, {:.3}] MB/s (paper: 0 to 0.8)", bus.min(), bus.max());
+    println!(
+        "        bus envelope [{:.3}, {:.3}] MB/s (paper: 0 to 0.8)",
+        bus.min(),
+        bus.max()
+    );
 
     let json = serde_json::json!({
         "figure": "fig2",

@@ -16,7 +16,9 @@ fn main() {
     let sys = scenario.build();
     println!(
         "fig6: training {} episodes on {} (N={})",
-        episodes, scenario.name, sys.num_devices()
+        episodes,
+        scenario.name,
+        sys.num_devices()
     );
     let t0 = std::time::Instant::now();
     let out = scenario.train(&sys, episodes);
@@ -51,8 +53,7 @@ fn main() {
     }
 
     let early = &out.episodes[..(episodes / 5).max(1)];
-    let early_cost: f64 =
-        early.iter().map(|e| e.mean_cost).sum::<f64>() / early.len() as f64;
+    let early_cost: f64 = early.iter().map(|e| e.mean_cost).sum::<f64>() / early.len() as f64;
     let late_cost = out.final_mean_cost(episodes / 5);
     println!("\nFig. 6(b) check: early mean cost {early_cost:.3} -> late mean cost {late_cost:.3}");
     println!(
@@ -62,7 +63,10 @@ fn main() {
             .find(|e| e.value_loss.is_finite())
             .map(|e| e.value_loss)
             .unwrap_or(f64::NAN),
-        out.episodes.last().map(|e| e.value_loss).unwrap_or(f64::NAN)
+        out.episodes
+            .last()
+            .map(|e| e.value_loss)
+            .unwrap_or(f64::NAN)
     );
     println!(
         "note: the sigmoid action squash gives the untrained policy a mid-frequency\n\

@@ -41,8 +41,8 @@ fn main() {
     );
 
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xEA1);
-    let stat = StaticController::new(&sys, 1000, 0.1, &mut rng)
-        .expect("static controller construction");
+    let stat =
+        StaticController::new(&sys, 1000, 0.1, &mut rng).expect("static controller construction");
     let controllers: Vec<Box<dyn FrequencyController + Send>> = vec![
         Box::new(drl),
         Box::new(HeuristicController::default()),
@@ -54,8 +54,8 @@ fn main() {
     // Evaluation starts well inside the traces (past the history window).
     let t_start = 200.0;
     let t1 = std::time::Instant::now();
-    let runs = compare_controllers(&sys, controllers, iterations, t_start)
-        .expect("controller evaluation");
+    let runs =
+        compare_controllers(&sys, controllers, iterations, t_start).expect("controller evaluation");
     println!("evaluation finished in {:.1?}", t1.elapsed());
 
     print_summary_table("Fig. 7(a-c): averages over the online run", &runs);

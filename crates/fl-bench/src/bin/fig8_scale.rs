@@ -7,7 +7,11 @@
 //!
 //! Usage: `cargo run --release -p fl-bench --bin fig8_scale [episodes] [iters]`
 
-use fl_bench::{dump_json, print_relative, print_summary_table, Scenario};
+use fl_bench::{
+    dump_json, print_relative, print_round_worker_stats, print_summary_table, workers_from_env,
+    Scenario,
+};
+use fl_ctrl::ParallelConfig;
 use fl_ctrl::{
     compare_controllers, FrequencyController, HeuristicController, MaxFreqController,
     StaticController,
@@ -29,16 +33,28 @@ fn main() {
         sys.config().lambda
     );
 
+    // N=50 training dominates this figure's wall clock: collect rollouts
+    // with the vectorized engine. `n_envs` is pinned (it is part of the
+    // result); `FL_WORKERS` only changes speed.
+    let par = ParallelConfig {
+        n_envs: 4,
+        workers: workers_from_env(),
+    };
     let t0 = std::time::Instant::now();
-    let (drl, cached) = scenario.train_cached(&sys, episodes);
+    let (drl, cached, rounds) = scenario.train_cached_parallel(&sys, episodes, &par);
     println!(
-        "DRL controller ready in {:.1?} (cache hit: {cached})",
-        t0.elapsed()
+        "DRL controller ready in {:.1?} (cache hit: {cached}, n_envs={}, workers={})",
+        t0.elapsed(),
+        par.n_envs,
+        par.workers
     );
+    if let Some(rounds) = rounds {
+        print_round_worker_stats("rollout workers", &rounds);
+    }
 
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xEA1);
-    let stat = StaticController::new(&sys, 1000, 0.1, &mut rng)
-        .expect("static controller construction");
+    let stat =
+        StaticController::new(&sys, 1000, 0.1, &mut rng).expect("static controller construction");
     // The per-iteration oracle is O(grid × N × bisection × trace-walk); at
     // N=50 it is still tractable but slow — include it only when asked.
     let include_oracle = std::env::var("FIG8_ORACLE").is_ok();
@@ -53,8 +69,8 @@ fn main() {
     }
 
     let t1 = std::time::Instant::now();
-    let runs = compare_controllers(&sys, controllers, iterations, 200.0)
-        .expect("controller evaluation");
+    let runs =
+        compare_controllers(&sys, controllers, iterations, 200.0).expect("controller evaluation");
     println!("evaluation finished in {:.1?}", t1.elapsed());
 
     print_summary_table("Fig. 8: N=50 averages", &runs);

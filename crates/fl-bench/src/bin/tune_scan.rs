@@ -2,10 +2,14 @@
 //! (maxfreq vs heuristic vs static vs oracle) across operating points,
 //! WITHOUT training DRL. Used to pick the scenario constants; not one of
 //! the paper's figures.
+//!
+//! Operating points are independent, so they fan out across the
+//! work-stealing pool (`FL_WORKERS` caps the threads; rows print in the
+//! same order regardless).
 
 use fl_ctrl::{
-    compare_controllers, FrequencyController, HeuristicController, MaxFreqController,
-    OracleController, StaticController,
+    compare_controllers, run_parallel_sweep, FrequencyController, HeuristicController,
+    MaxFreqController, OracleController, StaticController,
 };
 use fl_net::TraceSet;
 use fl_sim::{DeviceSampler, FlConfig, FlSystem, Range};
@@ -14,17 +18,14 @@ use rand_chacha::ChaCha8Rng;
 
 fn build(lambda: f64, xi: f64, data_lo: f64, data_hi: f64) -> FlSystem {
     let mut rng = ChaCha8Rng::seed_from_u64(20200518);
-    let traces = TraceSet::from_profile(
-        fl_net::synth::Profile::Walking4G,
-        3,
-        3600,
-        1.0,
-        &mut rng,
-    )
-    .unwrap();
+    let traces =
+        TraceSet::from_profile(fl_net::synth::Profile::Walking4G, 3, 3600, 1.0, &mut rng).unwrap();
     let assignment = traces.assign(3, &mut rng);
     let sampler = DeviceSampler {
-        data_mb: Range { lo: data_lo, hi: data_hi },
+        data_mb: Range {
+            lo: data_lo,
+            hi: data_hi,
+        },
         ..DeviceSampler::default()
     };
     let devices = sampler.sample_fleet(&assignment, &mut rng);
@@ -43,7 +44,7 @@ fn build(lambda: f64, xi: f64, data_lo: f64, data_hi: f64) -> FlSystem {
 fn main() {
     // (lambda, xi, data range) — the last two rows shrink compute so comm
     // variability dominates (Mbit-reading of the paper's 50-100 "MB").
-    for &(lambda, xi, dlo, dhi) in &[
+    let points = vec![
         (0.5, 10.0, 50.0, 100.0),
         (1.0, 10.0, 50.0, 100.0),
         (0.5, 25.0, 6.25, 12.5),
@@ -51,7 +52,9 @@ fn main() {
         (2.0, 25.0, 6.25, 12.5),
         (1.0, 10.0, 6.25, 12.5),
         (2.0, 10.0, 6.25, 12.5),
-    ] {
+    ];
+    let workers = fl_bench::workers_from_env();
+    let (rows, report) = run_parallel_sweep(workers, points, |_, (lambda, xi, dlo, dhi)| {
         let sys = build(lambda, xi, dlo, dhi);
         let mut rng2 = ChaCha8Rng::seed_from_u64(7);
         let stat = StaticController::new(&sys, 1000, 0.1, &mut rng2).unwrap();
@@ -61,10 +64,15 @@ fn main() {
             Box::new(stat),
             Box::new(OracleController::default()),
         ];
-        let runs = compare_controllers(&sys, controllers, 300, 200.0).unwrap();
+        let runs = compare_controllers(&sys, controllers, 300, 200.0)?;
+        Ok(((lambda, xi, dlo, dhi), runs))
+    })
+    .expect("tuning scan");
+
+    for ((lambda, xi, dlo, dhi), runs) in &rows {
         let oracle = runs[3].ledger.mean_cost();
         print!("lam={lambda:<4} xi={xi:<4} D=[{dlo},{dhi}]");
-        for r in &runs {
+        for r in runs {
             print!(
                 "  {}={:.2}/{:.1}s (+{:.0}%)",
                 r.name,
@@ -75,4 +83,5 @@ fn main() {
         }
         println!();
     }
+    println!("timing: {}", report.timing_line());
 }

@@ -19,7 +19,8 @@
 #![warn(missing_docs)]
 
 use fl_ctrl::{
-    train_drl, ControllerRun, DrlController, EnvConfig, PolicyArch, TrainConfig, TrainOutput,
+    train_drl, train_drl_parallel, ControllerRun, DrlController, EnvConfig, ParallelConfig,
+    ParallelTrainOutput, PolicyArch, TrainConfig, TrainOutput,
 };
 use fl_net::stats::EmpiricalCdf;
 use fl_net::synth::Profile;
@@ -174,6 +175,20 @@ impl Scenario {
             .expect("training configuration is valid")
     }
 
+    /// Trains with the vectorized parallel rollout engine. Deterministic
+    /// given the scenario seed and `par.n_envs`; `par.workers` only moves
+    /// wall-clock time.
+    pub fn train_parallel(
+        &self,
+        sys: &FlSystem,
+        episodes: usize,
+        par: &ParallelConfig,
+    ) -> ParallelTrainOutput {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xD51);
+        train_drl_parallel(sys, &self.train_config(episodes), par, &mut rng)
+            .expect("training configuration is valid")
+    }
+
     /// Loads a cached trained controller from `target/` or trains and
     /// caches one. Binaries share training runs this way (fig6 and fig7 use
     /// the same agent, like the paper).
@@ -193,6 +208,72 @@ impl Scenario {
         }
         (out.controller, false)
     }
+
+    /// Parallel-training variant of [`Scenario::train_cached`]. The cache
+    /// key includes `n_envs` (a logical parameter) but not `workers`
+    /// (physical, result-invariant). Returns the controller, whether the
+    /// cache hit, and — on a fresh run — the per-round worker telemetry.
+    pub fn train_cached_parallel(
+        &self,
+        sys: &FlSystem,
+        episodes: usize,
+        par: &ParallelConfig,
+    ) -> (
+        DrlController,
+        bool,
+        Option<Vec<Vec<fl_rl::pool::WorkerStats>>>,
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "fedfreq-{}-{}ep-seed{}-vec{}.json",
+            self.name, episodes, self.seed, par.n_envs
+        ));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(ctrl) = DrlController::from_json(&text) {
+                return (ctrl, true, None);
+            }
+        }
+        let out = self.train_parallel(sys, episodes, par);
+        if let Ok(json) = out.output.controller.to_json() {
+            let _ = std::fs::write(&path, json);
+        }
+        (out.output.controller, false, Some(out.rounds))
+    }
+}
+
+/// Worker-thread count for the benchmark binaries: the `FL_WORKERS`
+/// environment variable when set, otherwise the machine's available
+/// parallelism. Thanks to the engine's determinism contract this only
+/// changes how fast the binaries run, never what they print.
+pub fn workers_from_env() -> usize {
+    std::env::var("FL_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(fl_rl::pool::default_workers)
+}
+
+/// Prints per-worker totals (tasks, steals, busy seconds) aggregated over
+/// the collection rounds of a parallel training run.
+pub fn print_round_worker_stats(label: &str, rounds: &[Vec<fl_rl::pool::WorkerStats>]) {
+    let workers = rounds.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut tasks = vec![0usize; workers];
+    let mut steals = vec![0usize; workers];
+    let mut busy = vec![0.0f64; workers];
+    for round in rounds {
+        for w in round {
+            tasks[w.worker] += w.tasks;
+            steals[w.worker] += w.steals;
+            busy[w.worker] += w.busy.as_secs_f64();
+        }
+    }
+    print!("{label}: {} rounds |", rounds.len());
+    for w in 0..workers {
+        print!(
+            " w{w}: {} tasks ({} stolen) {:.2}s busy |",
+            tasks[w], steals[w], busy[w]
+        );
+    }
+    println!();
 }
 
 /// Prints a fixed-width summary table (the Fig. 7(a–c) bars as rows).
@@ -241,7 +322,10 @@ pub fn dump_json(filename: &str, value: &serde_json::Value) {
     let path = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(path);
     let full = path.join(filename);
-    match std::fs::write(&full, serde_json::to_string_pretty(value).expect("valid json")) {
+    match std::fs::write(
+        &full,
+        serde_json::to_string_pretty(value).expect("valid json"),
+    ) {
         Ok(()) => println!("\n[results written to {}]", full.display()),
         Err(e) => eprintln!("could not write {}: {e}", full.display()),
     }
@@ -282,10 +366,6 @@ mod tests {
         let run = run_controller(&sys, &mut ctrl, 5, 200.0).unwrap();
         print_summary_table("smoke", std::slice::from_ref(&run));
         print_relative(std::slice::from_ref(&run));
-        print_cdf(
-            "cost",
-            &[(run.name.clone(), run.ledger.cost_series())],
-            5,
-        );
+        print_cdf("cost", &[(run.name.clone(), run.ledger.cost_series())], 5);
     }
 }

@@ -6,8 +6,8 @@
 //! re-run exactly (`fl-bench --bin custom -- path/to/experiment.json`).
 
 use crate::controllers::{
-    DrlController, FrequencyController, HeuristicController, MaxFreqController,
-    OracleController, PredictiveController, StaticController,
+    DrlController, FrequencyController, HeuristicController, MaxFreqController, OracleController,
+    PredictiveController, StaticController,
 };
 use crate::experiment::{run_controller, ControllerRun};
 use crate::flenv::build_system_with;
@@ -188,15 +188,11 @@ impl ExperimentConfig {
     ) -> Result<Box<dyn FrequencyController + Send>> {
         let min_frac = self.train.env.min_freq_frac;
         Ok(match kind {
-            ControllerKind::Drl => Box::new(
-                drl.cloned()
-                    .ok_or_else(|| {
-                        CtrlError::InvalidArgument(
-                            "Drl controller requested but no trained agent supplied"
-                                .to_string(),
-                        )
-                    })?,
-            ),
+            ControllerKind::Drl => Box::new(drl.cloned().ok_or_else(|| {
+                CtrlError::InvalidArgument(
+                    "Drl controller requested but no trained agent supplied".to_string(),
+                )
+            })?),
             ControllerKind::Heuristic => Box::new(HeuristicController::new(min_frac)),
             ControllerKind::Static { samples } => {
                 let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x57A7);
@@ -207,12 +203,11 @@ impl ExperimentConfig {
             ControllerKind::Predictive(p) => {
                 let kind = *p;
                 Box::new(match kind {
-                    PredictorKind::LastValue => PredictiveController::uniform(
-                        "lastval",
-                        sys,
-                        min_frac,
-                        |prior| Box::new(fl_net::predict::LastValue::new(prior)),
-                    )?,
+                    PredictorKind::LastValue => {
+                        PredictiveController::uniform("lastval", sys, min_frac, |prior| {
+                            Box::new(fl_net::predict::LastValue::new(prior))
+                        })?
+                    }
                     PredictorKind::SlidingMean { window } => PredictiveController::uniform(
                         &format!("slide{window}"),
                         sys,
@@ -230,17 +225,15 @@ impl ExperimentConfig {
                         min_frac,
                         |prior| {
                             Box::new(
-                                fl_net::predict::Ewma::new(alpha, prior)
-                                    .expect("alpha validated"),
+                                fl_net::predict::Ewma::new(alpha, prior).expect("alpha validated"),
                             )
                         },
                     )?,
-                    PredictorKind::Ar1 => PredictiveController::uniform(
-                        "ar1",
-                        sys,
-                        min_frac,
-                        |prior| Box::new(fl_net::predict::Ar1::new(prior)),
-                    )?,
+                    PredictorKind::Ar1 => {
+                        PredictiveController::uniform("ar1", sys, min_frac, |prior| {
+                            Box::new(fl_net::predict::Ar1::new(prior))
+                        })?
+                    }
                 })
             }
         })
@@ -386,8 +379,6 @@ mod tests {
     fn drl_requires_training() {
         let c = tiny();
         let sys = c.build_system().unwrap();
-        assert!(c
-            .make_controller(&ControllerKind::Drl, &sys, None)
-            .is_err());
+        assert!(c.make_controller(&ControllerKind::Drl, &sys, None).is_err());
     }
 }

@@ -90,7 +90,12 @@ impl StaticController {
     /// frequency for each mobile device according to the average value of
     /// these bandwidth data" — i.e. one *pool-wide* average (random
     /// instants from random traces), applied to every device.
-    pub fn new(sys: &FlSystem, samples: usize, min_freq_frac: f64, rng: &mut impl Rng) -> Result<Self> {
+    pub fn new(
+        sys: &FlSystem,
+        samples: usize,
+        min_freq_frac: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
         if samples == 0 {
             return Err(CtrlError::InvalidArgument(
                 "samples must be nonzero".to_string(),
@@ -320,12 +325,7 @@ impl OracleController {
 
     /// Exact finish time (relative to `t_start`) of a device running at
     /// frequency `f`, via trace integration.
-    fn finish_time(
-        sys: &FlSystem,
-        device: usize,
-        t_start: f64,
-        freq: f64,
-    ) -> Result<f64> {
+    fn finish_time(sys: &FlSystem, device: usize, t_start: f64, freq: f64) -> Result<f64> {
         let d = &sys.devices()[device];
         let compute = d.compute_time(sys.config().tau, freq);
         let comm = sys
@@ -363,11 +363,7 @@ impl OracleController {
         Ok(hi)
     }
 
-    fn exact_cost(
-        sys: &FlSystem,
-        t_start: f64,
-        freqs: &[f64],
-    ) -> Result<f64> {
+    fn exact_cost(sys: &FlSystem, t_start: f64, freqs: &[f64]) -> Result<f64> {
         let report = sys.run_iteration(t_start, freqs)?;
         Ok(report.cost(sys.config().lambda))
     }
@@ -426,9 +422,8 @@ impl FrequencyController for OracleController {
                 best_freqs = Some(freqs);
             }
         }
-        best_freqs.ok_or_else(|| {
-            CtrlError::InvalidArgument("oracle search produced no plan".to_string())
-        })
+        best_freqs
+            .ok_or_else(|| CtrlError::InvalidArgument("oracle search produced no plan".to_string()))
     }
 }
 
@@ -486,8 +481,7 @@ impl DrlController {
 
     /// Restores a controller from [`DrlController::to_json`] output.
     pub fn from_json(s: &str) -> Result<Self> {
-        serde_json::from_str(s)
-            .map_err(|e| CtrlError::InvalidArgument(format!("deserialize: {e}")))
+        serde_json::from_str(s).map_err(|e| CtrlError::InvalidArgument(format!("deserialize: {e}")))
     }
 }
 
@@ -533,7 +527,15 @@ mod tests {
 
     fn system(seed: u64, n: usize) -> FlSystem {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        build_system(n, 3, Profile::Walking4G, 1200, FlConfig::default(), &mut rng).unwrap()
+        build_system(
+            n,
+            3,
+            Profile::Walking4G,
+            1200,
+            FlConfig::default(),
+            &mut rng,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -570,13 +572,8 @@ mod tests {
         let c = StaticController::new(&sys, 5000, 0.1, &mut rng).unwrap();
         // One shared estimate for every device, near the pool-wide mean.
         assert!(c.estimates().windows(2).all(|w| w[0] == w[1]));
-        let pool_mean: f64 = sys
-            .traces()
-            .traces()
-            .iter()
-            .map(|t| t.mean())
-            .sum::<f64>()
-            / sys.traces().len() as f64;
+        let pool_mean: f64 =
+            sys.traces().traces().iter().map(|t| t.mean()).sum::<f64>() / sys.traces().len() as f64;
         let est = c.estimates()[0];
         assert!(
             (est - pool_mean).abs() < 0.1 * pool_mean + 0.05,
@@ -611,10 +608,7 @@ mod tests {
         let mf = maxf.decide(0, t, &sys, None).unwrap();
         let oc = sys.run_iteration(t, &of).unwrap().cost(lambda);
         let mc = sys.run_iteration(t, &mf).unwrap().cost(lambda);
-        assert!(
-            oc <= mc + 1e-6,
-            "oracle cost {oc} worse than maxfreq {mc}"
-        );
+        assert!(oc <= mc + 1e-6, "oracle cost {oc} worse than maxfreq {mc}");
         assert_eq!(oracle.name(), "oracle");
     }
 
@@ -668,10 +662,9 @@ mod tests {
     fn predictive_controller_runs_and_adapts() {
         use fl_net::predict::{Ar1, LastValue};
         let sys = system(20, 3);
-        let mut c = PredictiveController::uniform("ar1", &sys, 0.1, |prior| {
-            Box::new(Ar1::new(prior))
-        })
-        .unwrap();
+        let mut c =
+            PredictiveController::uniform("ar1", &sys, 0.1, |prior| Box::new(Ar1::new(prior)))
+                .unwrap();
         assert_eq!(c.name(), "pred-ar1");
         let f0 = c.decide(0, 100.0, &sys, None).unwrap();
         assert_eq!(f0.len(), 3);
@@ -693,8 +686,12 @@ mod tests {
         })
         .unwrap();
         let mut heur = HeuristicController::default();
-        let flv = lv.decide(1, report.end_time(), &sys, Some(&report)).unwrap();
-        let fh = heur.decide(1, report.end_time(), &sys, Some(&report)).unwrap();
+        let flv = lv
+            .decide(1, report.end_time(), &sys, Some(&report))
+            .unwrap();
+        let fh = heur
+            .decide(1, report.end_time(), &sys, Some(&report))
+            .unwrap();
         for (a, b) in flv.iter().zip(&fh) {
             assert!((a - b).abs() < 1e-9);
         }

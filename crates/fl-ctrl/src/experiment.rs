@@ -54,28 +54,91 @@ pub fn run_controller(
     })
 }
 
-/// Evaluates several controllers on the *same* system and start time,
-/// fanning each out to its own thread (they only read the system).
+/// Evaluates several controllers on the *same* system and start time on a
+/// bounded work-stealing pool (they only read the system). Results come
+/// back in input order regardless of scheduling.
 pub fn compare_controllers(
     sys: &FlSystem,
     controllers: Vec<Box<dyn FrequencyController + Send>>,
     iterations: usize,
     t_start: f64,
 ) -> Result<Vec<ControllerRun>> {
-    let mut slots: Vec<Option<Result<ControllerRun>>> = Vec::new();
-    slots.resize_with(controllers.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (mut ctrl, slot) in controllers.into_iter().zip(slots.iter_mut()) {
-            scope.spawn(move |_| {
-                *slot = Some(run_controller(sys, ctrl.as_mut(), iterations, t_start));
-            });
-        }
-    })
-    .expect("controller evaluation thread panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled by its thread"))
-        .collect()
+    let workers = fl_rl::pool::default_workers().min(controllers.len().max(1));
+    let run = fl_rl::pool::run_indexed(workers, controllers, |_, mut ctrl| {
+        run_controller(sys, ctrl.as_mut(), iterations, t_start)
+    });
+    run.results.into_iter().collect()
+}
+
+/// Per-batch timing report of a [`run_parallel_sweep`] call, for the
+/// benchmark binaries' `--timing` output.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-worker telemetry (tasks, steals, busy time).
+    pub workers: Vec<fl_rl::pool::WorkerStats>,
+    /// Wall-clock duration of the whole sweep.
+    pub wall: std::time::Duration,
+}
+
+impl SweepReport {
+    /// Human-readable per-worker timing summary.
+    pub fn timing_line(&self) -> String {
+        let wall = self.wall.as_secs_f64();
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        let speedup = if wall > 0.0 { busy / wall } else { 1.0 };
+        let per: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "w{}={} tasks/{:.2}s{}",
+                    w.worker,
+                    w.tasks,
+                    w.busy.as_secs_f64(),
+                    if w.steals > 0 {
+                        format!(" ({} stolen)", w.steals)
+                    } else {
+                        String::new()
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "workers={} wall={:.2}s busy={:.2}s speedup={:.2}x [{}]",
+            self.workers.len(),
+            wall,
+            busy,
+            speedup,
+            per.join(", ")
+        )
+    }
+}
+
+/// Fans a batch of independent experiment configurations (seeds, lambdas,
+/// fleet sizes, hyperparameter points, …) across a bounded work-stealing
+/// pool and returns the outcomes **in input order**, plus per-worker
+/// timing. The first task error, if any, is propagated after the whole
+/// batch has run.
+///
+/// Each task must derive all randomness from its own input (e.g. by
+/// seeding an RNG from it) — the pool provides ordering, not isolation.
+pub fn run_parallel_sweep<T, R, F>(
+    workers: usize,
+    inputs: Vec<T>,
+    f: F,
+) -> Result<(Vec<R>, SweepReport)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> Result<R> + Sync,
+{
+    let run = fl_rl::pool::run_indexed(workers, inputs, f);
+    let report = SweepReport {
+        workers: run.workers,
+        wall: run.wall,
+    };
+    let results: Result<Vec<R>> = run.results.into_iter().collect();
+    Ok((results?, report))
 }
 
 #[cfg(test)]
@@ -90,7 +153,15 @@ mod tests {
 
     fn system(seed: u64) -> FlSystem {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        build_system(3, 3, Profile::Walking4G, 2400, FlConfig::default(), &mut rng).unwrap()
+        build_system(
+            3,
+            3,
+            Profile::Walking4G,
+            2400,
+            FlConfig::default(),
+            &mut rng,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -199,6 +199,14 @@ impl Environment for FlFreqEnv {
         self.step_inner(action)
             .map_err(|e| fl_rl::RlError::Environment(e.to_string()))
     }
+
+    /// The Eq. 12 system cost of the last iteration — what the training
+    /// diagnostics (Fig. 6(b)) average per episode. Identical to `-reward`
+    /// today, but reported through the metric channel so reward shaping
+    /// can never silently skew the cost curves.
+    fn step_metric(&self) -> Option<f64> {
+        self.last_report().map(|r| r.cost(self.sys.config().lambda))
+    }
 }
 
 /// Builds a standard experiment system: `n_devices` sampled per the paper's
@@ -268,11 +276,15 @@ mod tests {
         assert!(c.validate().is_ok());
         c.slot_h = 0.0;
         assert!(c.validate().is_err());
-        let mut c = EnvConfig::default();
-        c.episode_len = 0;
+        let c = EnvConfig {
+            episode_len: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EnvConfig::default();
-        c.min_freq_frac = 0.0;
+        let c = EnvConfig {
+            min_freq_frac: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -64,17 +64,22 @@ pub mod online;
 pub mod solver;
 mod train;
 
-pub use controllers::{
-    DrlController, FrequencyController, HeuristicController, MaxFreqController,
-    OracleController, PredictiveController, StaticController,
-};
 pub use config::{ControllerKind, ExperimentConfig, PredictorKind};
+pub use controllers::{
+    DrlController, FrequencyController, HeuristicController, MaxFreqController, OracleController,
+    PredictiveController, StaticController,
+};
 pub use error::CtrlError;
-pub use experiment::{compare_controllers, run_controller, ControllerRun};
-pub use online::OnlineDrlController;
+pub use experiment::{
+    compare_controllers, run_controller, run_parallel_sweep, ControllerRun, SweepReport,
+};
 pub use flenv::{build_system, build_system_with, squash_to_freq, EnvConfig, FlFreqEnv};
+pub use online::OnlineDrlController;
 pub use solver::{model_cost, optimize_frequencies, FreqPlan, SolverParams};
-pub use train::{train_drl, EpisodeStats, PolicyArch, TrainConfig, TrainOutput};
+pub use train::{
+    train_drl, train_drl_parallel, EpisodeStats, ParallelConfig, ParallelTrainOutput, PolicyArch,
+    TrainConfig, TrainOutput,
+};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, CtrlError>;

@@ -40,12 +40,7 @@ impl OnlineDrlController {
     /// Wraps a (typically pre-trained) agent for continual operation.
     /// `env` must match the shapes the agent was built for; `seed` drives
     /// both exploration and minibatch shuffling.
-    pub fn new(
-        agent: PpoAgent,
-        env: EnvConfig,
-        reward_scale: f64,
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn new(agent: PpoAgent, env: EnvConfig, reward_scale: f64, seed: u64) -> Result<Self> {
         env.validate()?;
         if !(reward_scale > 0.0) || !reward_scale.is_finite() {
             return Err(CtrlError::InvalidArgument(format!(
@@ -137,11 +132,8 @@ impl FrequencyController for OnlineDrlController {
                 })
                 .map_err(CtrlError::from)?;
             if self.buffer.is_full() {
-                let obs_now = sys.observe_bandwidth_state(
-                    t_start,
-                    self.env.slot_h,
-                    self.env.history_len,
-                )?;
+                let obs_now =
+                    sys.observe_bandwidth_state(t_start, self.env.slot_h, self.env.history_len)?;
                 let bootstrap = self
                     .agent
                     .bootstrap_value(&obs_now)
@@ -154,9 +146,11 @@ impl FrequencyController for OnlineDrlController {
             }
         }
 
-        let obs =
-            sys.observe_bandwidth_state(t_start, self.env.slot_h, self.env.history_len)?;
-        let out = self.agent.act(&obs, &mut self.rng).map_err(CtrlError::from)?;
+        let obs = sys.observe_bandwidth_state(t_start, self.env.slot_h, self.env.history_len)?;
+        let out = self
+            .agent
+            .act(&obs, &mut self.rng)
+            .map_err(CtrlError::from)?;
         let freqs: Vec<f64> = sys
             .devices()
             .iter()
@@ -226,13 +220,7 @@ mod tests {
         assert_eq!(ctrl.updates(), 0);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let agent = PpoAgent::new(4, 2, PpoConfig::default(), &mut rng).unwrap();
-        assert!(OnlineDrlController::new(
-            agent,
-            EnvConfig::default(),
-            0.0,
-            1
-        )
-        .is_err());
+        assert!(OnlineDrlController::new(agent, EnvConfig::default(), 0.0, 1).is_err());
     }
 
     #[test]

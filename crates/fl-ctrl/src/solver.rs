@@ -66,7 +66,11 @@ fn plan_for_deadline(
         let w = params.tau as f64 * d.gcycles_per_pass();
         let d_min = params.min_freq_frac * d.delta_max_ghz;
         let budget = deadline - tc;
-        let needed = if budget > 1e-12 { w / budget } else { f64::INFINITY };
+        let needed = if budget > 1e-12 {
+            w / budget
+        } else {
+            f64::INFINITY
+        };
         let freq = needed.clamp(d_min, d.delta_max_ghz);
         let total = w / freq + tc;
         duration = duration.max(total);
@@ -265,7 +269,7 @@ mod tests {
             trace_idx: 0,
         };
         let p = params();
-        let plan = optimize_frequencies(&[d.clone()], &p, &[5.0]).unwrap();
+        let plan = optimize_frequencies(std::slice::from_ref(&d), &p, &[5.0]).unwrap();
         let expected = (1.0 / (2.0 * p.lambda * d.alpha)).powf(1.0 / 3.0).min(2.0);
         assert!(
             (plan.freqs[0] - expected).abs() < 0.02,

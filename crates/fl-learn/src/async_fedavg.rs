@@ -187,11 +187,15 @@ mod tests {
         assert!(c.validate().is_ok());
         c.mixing = 0.0;
         assert!(c.validate().is_err());
-        let mut c = AsyncFedAvgConfig::default();
-        c.mixing = 1.5;
+        let c = AsyncFedAvgConfig {
+            mixing: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AsyncFedAvgConfig::default();
-        c.staleness_power = -1.0;
+        let c = AsyncFedAvgConfig {
+            staleness_power: -1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -218,10 +222,7 @@ mod tests {
     fn async_training_converges() {
         let (mut fed, shards) = setup(2, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let before = fed
-            .apply_arrival(0, &shards, &mut rng)
-            .unwrap()
-            .global_loss;
+        let before = fed.apply_arrival(0, &shards, &mut rng).unwrap().global_loss;
         let mut last = before;
         for k in 0..30 {
             last = fed

@@ -53,14 +53,8 @@ impl LabeledData {
 
     /// Gathers the given sample indices into a new dataset.
     pub fn subset(&self, indices: &[usize]) -> Result<LabeledData> {
-        let x = self
-            .x
-            .gather_rows(indices)
-            .map_err(LearnError::from)?;
-        let y = self
-            .y
-            .gather_rows(indices)
-            .map_err(LearnError::from)?;
+        let x = self.x.gather_rows(indices).map_err(LearnError::from)?;
+        let y = self.y.gather_rows(indices).map_err(LearnError::from)?;
         LabeledData::new(x, y)
     }
 
@@ -357,10 +351,7 @@ mod tests {
         assert_eq!(total, 101);
         // Sizes differ by at most one.
         let sizes: Vec<usize> = parts.iter().map(LabeledData::len).collect();
-        let (mn, mx) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (mn, mx) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(mx - mn <= 1);
     }
 }

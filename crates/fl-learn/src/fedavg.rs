@@ -101,10 +101,7 @@ impl FedAvg {
                 )));
             }
         }
-        let selected: Vec<LabeledData> = participants
-            .iter()
-            .map(|&p| shards[p].clone())
-            .collect();
+        let selected: Vec<LabeledData> = participants.iter().map(|&p| shards[p].clone()).collect();
         let report = self.round_inner(&selected, rng)?;
         // Re-measure quality over the full population (non-participants'
         // data still counts toward Eq. 8).
@@ -158,9 +155,7 @@ impl FedAvg {
             let mut slots: Vec<Option<Result<(Vec<f64>, f64)>>> = Vec::new();
             slots.resize_with(shards.len(), || None);
             crossbeam::thread::scope(|scope| {
-                for ((shard, seed), slot) in
-                    shards.iter().zip(&seeds).zip(slots.iter_mut())
-                {
+                for ((shard, seed), slot) in shards.iter().zip(&seeds).zip(slots.iter_mut()) {
                     scope.spawn(move |_| {
                         *slot = Some(Self::local_update(global, trainer, shard, *seed));
                     });
@@ -360,7 +355,9 @@ mod tests {
         for _ in 0..5 {
             fed.round(&shards, &mut r).unwrap();
         }
-        let big_loss = LocalTrainer::default().evaluate_loss(fed.global(), &big).unwrap();
+        let big_loss = LocalTrainer::default()
+            .evaluate_loss(fed.global(), &big)
+            .unwrap();
         assert!(big_loss < 0.2, "dominant shard poorly fit: {big_loss}");
     }
 

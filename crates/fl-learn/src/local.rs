@@ -114,12 +114,7 @@ impl LocalTrainer {
 
     /// Runs `τ` epochs of minibatch Adam on `model`. Returns the mean
     /// minibatch loss of the final epoch.
-    pub fn train(
-        &self,
-        model: &mut Mlp,
-        data: &LabeledData,
-        rng: &mut impl Rng,
-    ) -> Result<f64> {
+    pub fn train(&self, model: &mut Mlp, data: &LabeledData, rng: &mut impl Rng) -> Result<f64> {
         self.validate()?;
         self.check_model(model)?;
         if data.is_empty() {
@@ -246,14 +241,20 @@ mod tests {
         assert!(t.validate().is_ok());
         t.epochs = 0;
         assert!(t.validate().is_err());
-        let mut t = LocalTrainer::default();
-        t.lr = 0.0;
+        let t = LocalTrainer {
+            lr: 0.0,
+            ..Default::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = LocalTrainer::default();
-        t.batch_size = 0;
+        let t = LocalTrainer {
+            batch_size: 0,
+            ..Default::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = LocalTrainer::default();
-        t.objective = Objective::Multiclass(1);
+        let t = LocalTrainer {
+            objective: Objective::Multiclass(1),
+            ..Default::default()
+        };
         assert!(t.validate().is_err());
     }
 

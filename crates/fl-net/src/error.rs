@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(NetError::InvalidArgument("x".into()).to_string().contains("x"));
+        assert!(NetError::InvalidArgument("x".into())
+            .to_string()
+            .contains("x"));
         let s = NetError::OutOfRange {
             requested: 5.0,
             duration: 4.0,
@@ -64,6 +66,8 @@ mod tests {
         assert!(NetError::TransferStalled { remaining_mb: 1.5 }
             .to_string()
             .contains("1.500"));
-        assert!(NetError::Parse("bad line".into()).to_string().contains("bad line"));
+        assert!(NetError::Parse("bad line".into())
+            .to_string()
+            .contains("bad line"));
     }
 }

@@ -12,7 +12,11 @@ pub fn to_csv(trace: &BandwidthTrace) -> String {
     let mut out = String::with_capacity(trace.num_slots() * 16 + 32);
     out.push_str("time_s,bandwidth_mbs\n");
     for (i, b) in trace.slots().iter().enumerate() {
-        out.push_str(&format!("{:.3},{:.6}\n", i as f64 * trace.slot_duration(), b));
+        out.push_str(&format!(
+            "{:.3},{:.6}\n",
+            i as f64 * trace.slot_duration(),
+            b
+        ));
     }
     out
 }
@@ -79,8 +83,7 @@ pub fn from_csv(text: &str, fallback_slot: f64) -> Result<BandwidthTrace> {
 
 /// Serializes a trace to JSON via serde.
 pub fn to_json(trace: &BandwidthTrace) -> Result<String> {
-    serde_json::to_string_pretty(trace)
-        .map_err(|e| NetError::Parse(format!("json encode: {e}")))
+    serde_json::to_string_pretty(trace).map_err(|e| NetError::Parse(format!("json encode: {e}")))
 }
 
 /// Parses a trace from serde JSON.

@@ -189,9 +189,7 @@ impl OnOff {
         let mut out = Vec::with_capacity(num_slots);
         for _ in 0..num_slots {
             if on {
-                out.push(
-                    (self.on_mean + self.on_std * gaussian(rng)).clamp(0.0, self.ceil),
-                );
+                out.push((self.on_mean + self.on_std * gaussian(rng)).clamp(0.0, self.ceil));
                 if rng.gen::<f64>() < self.p_drop {
                     on = false;
                 }
@@ -234,8 +232,7 @@ impl SineNoise {
         (0..num_slots)
             .map(|i| {
                 let phase = std::f64::consts::TAU * i as f64 / self.period;
-                (self.mean + self.amplitude * phase.sin() + self.noise_std * gaussian(rng))
-                    .max(0.0)
+                (self.mean + self.amplitude * phase.sin() + self.noise_std * gaussian(rng)).max(0.0)
             })
             .collect()
     }
@@ -366,9 +363,18 @@ impl Profile {
             Profile::Walking4G => TraceModel::Scaled {
                 inner: Box::new(TraceModel::MarkovRegime(MarkovRegime {
                     regimes: vec![
-                        Regime { mean: 6.5, std: 1.8 }, // good cell, line of sight
-                        Regime { mean: 3.2, std: 1.4 }, // fair
-                        Regime { mean: 0.8, std: 0.6 }, // obstructed / cell edge
+                        Regime {
+                            mean: 6.5,
+                            std: 1.8,
+                        }, // good cell, line of sight
+                        Regime {
+                            mean: 3.2,
+                            std: 1.4,
+                        }, // fair
+                        Regime {
+                            mean: 0.8,
+                            std: 0.6,
+                        }, // obstructed / cell edge
                     ],
                     transition: vec![
                         vec![0.990, 0.008, 0.002],
@@ -417,8 +423,14 @@ impl Profile {
             // fades (tunnels/cuttings) — sticky two-regime chain.
             Profile::TrainHsdpa => TraceModel::MarkovRegime(MarkovRegime {
                 regimes: vec![
-                    Regime { mean: 0.6, std: 0.15 }, // open track
-                    Regime { mean: 0.05, std: 0.03 }, // tunnel / cutting
+                    Regime {
+                        mean: 0.6,
+                        std: 0.15,
+                    }, // open track
+                    Regime {
+                        mean: 0.05,
+                        std: 0.03,
+                    }, // tunnel / cutting
                 ],
                 transition: vec![vec![0.992, 0.008], vec![0.03, 0.97]],
                 floor: 0.0,
@@ -492,7 +504,10 @@ mod tests {
     #[test]
     fn markov_regime_validates_transition() {
         let m = MarkovRegime {
-            regimes: vec![Regime { mean: 1.0, std: 0.1 }],
+            regimes: vec![Regime {
+                mean: 1.0,
+                std: 0.1,
+            }],
             transition: vec![vec![0.5]], // does not sum to 1
             floor: 0.0,
             ceil: 2.0,
@@ -532,8 +547,16 @@ mod tests {
         // Paper Fig. 2a: bandwidth between <1 MB/s and ~9 MB/s.
         assert!(t.max() <= 9.5);
         assert!(t.min() >= 0.0);
-        assert!(t.max() > 6.0, "should visit the good regime, max={}", t.max());
-        assert!(t.min() < 1.5, "should visit the bad regime, min={}", t.min());
+        assert!(
+            t.max() > 6.0,
+            "should visit the good regime, max={}",
+            t.max()
+        );
+        assert!(
+            t.min() < 1.5,
+            "should visit the bad regime, min={}",
+            t.min()
+        );
         // Large swings within a 400 s window.
         let window = &t.slots()[..400];
         let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
@@ -569,7 +592,10 @@ mod tests {
         let t = Profile::Driving4G.generate(5000, 1.0, &mut r).unwrap();
         let zeros = t.slots().iter().filter(|&&b| b == 0.0).count();
         assert!(zeros > 50, "expected outages, got {zeros} zero slots");
-        assert!(zeros < 4500, "channel should mostly be up, got {zeros} zero slots");
+        assert!(
+            zeros < 4500,
+            "channel should mostly be up, got {zeros} zero slots"
+        );
     }
 
     #[test]
@@ -606,8 +632,15 @@ mod tests {
         let mut r = rng(21);
         let t = Profile::TrainHsdpa.generate(6000, 1.0, &mut r).unwrap();
         let faded = t.slots().iter().filter(|&&b| b < 0.1).count();
-        assert!(faded > 200, "expected tunnel stretches, got {faded} faded slots");
-        assert!(t.mean() > 0.3, "open track should dominate, mean={}", t.mean());
+        assert!(
+            faded > 200,
+            "expected tunnel stretches, got {faded} faded slots"
+        );
+        assert!(
+            t.mean() > 0.3,
+            "open track should dominate, mean={}",
+            t.mean()
+        );
         assert!(t.max() <= 1.0);
     }
 
@@ -618,6 +651,75 @@ mod tests {
             let t = p.generate(300, 1.0, &mut r).unwrap();
             assert_eq!(t.num_slots(), 300);
             assert!(t.slots().iter().all(|b| b.is_finite() && *b >= 0.0));
+        }
+    }
+
+    #[test]
+    fn golden_profile_statistics() {
+        // Golden regression pin: mean / variance / lag-1 autocorrelation of
+        // every preset at a fixed seed and length. Generation is fully
+        // deterministic, so drift here means the trace models (or the RNG
+        // stream feeding them) changed — which silently invalidates every
+        // cached controller and published figure. Regenerate by printing the
+        // same three statistics at seed 0x601D, 8192 slots, 1 s.
+        let goldens: [(Profile, f64, f64, f64); 6] = [
+            (
+                Profile::Walking4G,
+                4.301321913741,
+                6.521119488839,
+                0.770512654681,
+            ),
+            (
+                Profile::BusHsdpa,
+                0.392548730888,
+                0.029075584677,
+                0.943498010799,
+            ),
+            (
+                Profile::Stationary,
+                4.996318233548,
+                0.091044848632,
+                0.487236011826,
+            ),
+            (
+                Profile::Driving4G,
+                3.536264601170,
+                3.621244152876,
+                0.302829288860,
+            ),
+            (
+                Profile::TramHsdpa,
+                0.449573040271,
+                0.051236239323,
+                0.866290577515,
+            ),
+            (
+                Profile::TrainHsdpa,
+                0.510723723534,
+                0.059241958944,
+                0.647229630337,
+            ),
+        ];
+        for (profile, mean, var, ac1) in goldens {
+            let mut r = rng(0x601D);
+            let t = profile.generate(8192, 1.0, &mut r).unwrap();
+            let xs = t.slots();
+            let tol = 1e-9;
+            let m = stats::mean(xs);
+            let v = stats::variance(xs);
+            let a = stats::autocorrelation(xs, 1);
+            assert!(
+                (m - mean).abs() < tol,
+                "{profile:?} mean {m:.12} != {mean:.12}"
+            );
+            assert!(
+                (v - var).abs() < tol,
+                "{profile:?} var {v:.12} != {var:.12}"
+            );
+            assert!(
+                (a - ac1).abs() < tol,
+                "{profile:?} ac1 {a:.12} != {ac1:.12}"
+            );
         }
     }
 

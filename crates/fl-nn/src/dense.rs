@@ -301,7 +301,7 @@ mod tests {
 
     #[test]
     fn export_import_roundtrip() {
-        let mut l = layer(Activation::Tanh);
+        let l = layer(Activation::Tanh);
         let mut saved = Vec::new();
         l.export_params(&mut saved);
         assert_eq!(saved.len(), l.num_params());

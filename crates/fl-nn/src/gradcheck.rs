@@ -117,7 +117,12 @@ mod tests {
     #[test]
     fn sigmoid_network_gradients_correct() {
         let mut rng = ChaCha8Rng::seed_from_u64(22);
-        let mut net = Mlp::new(&[2, 6, 6, 1], Activation::Sigmoid, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[2, 6, 6, 1],
+            Activation::Sigmoid,
+            Activation::Identity,
+            &mut rng,
+        );
         let (x, y) = data(&mut rng, 4, 2, 1);
         let report = grad_check_mse(&mut net, &x, &y, 1e-5).unwrap();
         assert!(report.passes(1e-5), "{report:?}");
@@ -137,7 +142,12 @@ mod tests {
         // Use a fixed-seed net + data; probability of sitting exactly on a
         // ReLU kink is zero for this seed (verified by the assertion).
         let mut rng = ChaCha8Rng::seed_from_u64(24);
-        let mut net = Mlp::new(&[3, 10, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[3, 10, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let (x, y) = data(&mut rng, 6, 3, 2);
         let report = grad_check_mse(&mut net, &x, &y, 1e-6).unwrap();
         assert!(report.passes(1e-4), "{report:?}");

@@ -82,7 +82,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let w = Init::HeNormal.sample(100, 100, &mut rng);
         let mean = w.mean();
-        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
             / (w.data().len() - 1) as f64;
         let expected = 2.0 / 100.0;
         assert!((var - expected).abs() < expected * 0.2, "var={var}");

@@ -157,7 +157,9 @@ impl Matrix {
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns a new matrix holding rows `[start, end)` of `self`.
@@ -712,6 +714,71 @@ mod tests {
             let s = m.scale(2.0);
             prop_assert!((s.data()[0] - 2.0 * x).abs() < 1e-12);
             prop_assert!((s.data()[1] - 2.0 * y).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_matmul_matches_naive_reference(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let (m, k, n) = (
+                rng.gen_range(1..8usize),
+                rng.gen_range(1..8usize),
+                rng.gen_range(1..8usize),
+            );
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-3.0..3.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-3.0..3.0));
+            // Textbook triple loop, the definition of matrix multiplication.
+            let mut naive = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) * b.get(kk, j);
+                    }
+                    naive.data_mut()[i * n + j] = acc;
+                }
+            }
+            prop_assert!(approx_eq(&a.matmul(&b).unwrap(), &naive, 1e-12));
+        }
+
+        #[test]
+        fn prop_transpose_involution(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let (m, n) = (rng.gen_range(1..9usize), rng.gen_range(1..9usize));
+            let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(-10.0..10.0));
+            // Bitwise equality: transpose moves values, never recomputes them.
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        #[test]
+        fn prop_matmul_tn_matches_explicit_transpose(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let (k, m, n) = (
+                rng.gen_range(1..8usize),
+                rng.gen_range(1..8usize),
+                rng.gen_range(1..8usize),
+            );
+            let a = Matrix::from_fn(k, m, |_, _| rng.gen_range(-3.0..3.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-3.0..3.0));
+            let expected = a.transpose().matmul(&b).unwrap();
+            prop_assert!(approx_eq(&a.matmul_tn(&b).unwrap(), &expected, 1e-12));
+        }
+
+        #[test]
+        fn prop_matmul_nt_matches_explicit_transpose(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let (m, k, n) = (
+                rng.gen_range(1..8usize),
+                rng.gen_range(1..8usize),
+                rng.gen_range(1..8usize),
+            );
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-3.0..3.0));
+            let b = Matrix::from_fn(n, k, |_, _| rng.gen_range(-3.0..3.0));
+            let expected = a.matmul(&b.transpose()).unwrap();
+            prop_assert!(approx_eq(&a.matmul_nt(&b).unwrap(), &expected, 1e-12));
         }
     }
 }

@@ -210,7 +210,12 @@ mod tests {
 
     fn net() -> Mlp {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        Mlp::new(&[3, 8, 8, 2], Activation::Tanh, Activation::Identity, &mut rng)
+        Mlp::new(
+            &[3, 8, 8, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -239,7 +244,7 @@ mod tests {
 
     #[test]
     fn export_import_roundtrip() {
-        let mut n = net();
+        let n = net();
         let p = n.export_params();
         let mut n2 = net();
         n2.visit_params(|v, _| *v += 0.5);
@@ -254,7 +259,9 @@ mod tests {
         let x = Matrix::from_fn(4, 3, |r, c| (r + c) as f64 * 0.1);
         let y = n.forward(&x);
         n.zero_grad();
-        let d = n.backward(&Matrix::filled(y.rows(), y.cols(), 1.0)).unwrap();
+        let d = n
+            .backward(&Matrix::filled(y.rows(), y.cols(), 1.0))
+            .unwrap();
         assert_eq!(d.shape(), (4, 3));
         assert!(n.grad_norm().is_finite());
         assert!(n.grad_norm() > 0.0);
@@ -266,7 +273,8 @@ mod tests {
         let x = Matrix::filled(8, 3, 1.0);
         let y = n.forward(&x);
         n.zero_grad();
-        n.backward(&Matrix::filled(y.rows(), y.cols(), 100.0)).unwrap();
+        n.backward(&Matrix::filled(y.rows(), y.cols(), 100.0))
+            .unwrap();
         let pre = n.clip_grad_norm(0.5);
         assert!(pre > 0.5);
         assert!((n.grad_norm() - 0.5).abs() < 1e-9);

@@ -206,7 +206,12 @@ mod tests {
 
     fn fresh_net(seed: u64) -> Mlp {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, &mut rng)
+        Mlp::new(
+            &[1, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        )
     }
 
     #[test]

@@ -111,8 +111,7 @@ impl RolloutBuffer {
         for t in &self.transitions {
             data.extend_from_slice(&t.obs);
         }
-        Matrix::from_vec(self.transitions.len(), self.obs_dim, data)
-            .expect("dims enforced on push")
+        Matrix::from_vec(self.transitions.len(), self.obs_dim, data).expect("dims enforced on push")
     }
 
     /// All actions as a `len x action_dim` matrix.
@@ -211,5 +210,53 @@ mod tests {
         assert_eq!(b.values(), vec![0.5, 1.5]);
         assert_eq!(b.dones(), vec![false, false]);
         assert_eq!(b.log_probs(), vec![-0.5, -0.5]);
+    }
+
+    #[test]
+    fn accessors_preserve_push_order() {
+        // PPO's determinism contract leans on the buffer being strictly
+        // append-ordered: transition i must be row i of every view. Push
+        // distinct, tagged transitions and check each accessor end-to-end.
+        let k = 8;
+        let mut b = RolloutBuffer::new(k, 2, 1).unwrap();
+        for i in 0..k {
+            let v = i as f64;
+            b.push(Transition {
+                obs: vec![v * 10.0, v * 10.0 + 1.0],
+                action: vec![-v],
+                log_prob: -0.1 * v,
+                reward: v * 2.0,
+                value: v * 0.5,
+                done: i % 3 == 0,
+            })
+            .unwrap();
+        }
+        let ts = b.transitions();
+        assert_eq!(ts.len(), k);
+        let obs = b.obs_matrix();
+        let act = b.action_matrix();
+        for (i, t) in ts.iter().enumerate() {
+            let v = i as f64;
+            assert_eq!(t.obs, vec![v * 10.0, v * 10.0 + 1.0]);
+            assert_eq!(obs.row(i), t.obs.as_slice());
+            assert_eq!(act.row(i), t.action.as_slice());
+            assert_eq!(b.rewards()[i], v * 2.0);
+            assert_eq!(b.values()[i], v * 0.5);
+            assert_eq!(b.log_probs()[i], -0.1 * v);
+            assert_eq!(b.dones()[i], i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn clear_restarts_ordering_at_row_zero() {
+        let mut b = RolloutBuffer::new(2, 2, 1).unwrap();
+        b.push(transition(1.0)).unwrap();
+        b.push(transition(2.0)).unwrap();
+        b.clear();
+        b.push(transition(9.0)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.transitions()[0].reward, 18.0);
+        assert_eq!(b.obs_matrix().row(0), &[9.0, 10.0]);
+        assert_eq!(b.rewards(), vec![18.0]);
     }
 }

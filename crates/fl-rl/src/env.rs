@@ -32,6 +32,15 @@ pub trait Environment {
 
     /// Applies an action and advances one step.
     fn step(&mut self, action: &[f64]) -> Result<Step>;
+
+    /// Optional scalar diagnostic for the most recent [`Environment::step`]
+    /// — e.g. the unweighted system cost behind a shaped reward. Rollout
+    /// runners aggregate it into per-episode means; environments that track
+    /// nothing extra keep the default `None` (the runners then fall back to
+    /// `-reward`).
+    fn step_metric(&self) -> Option<f64> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ pub fn gae(
     let mut adv = vec![0.0; n];
     let mut acc = 0.0;
     for t in (0..n).rev() {
-        let next_value = if t == n - 1 { last_value } else { values[t + 1] };
+        let next_value = if t == n - 1 {
+            last_value
+        } else {
+            values[t + 1]
+        };
         let not_done = if dones[t] { 0.0 } else { 1.0 };
         let delta = rewards[t] + gamma * next_value * not_done - values[t];
         acc = delta + gamma * lambda * not_done * acc;
@@ -107,6 +111,44 @@ mod tests {
         let dones = [true, true];
         let (adv, _) = gae(&rewards, &values, &dones, 0.0, 0.99, 0.95);
         assert!(adv[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_step_hand_computed() {
+        // Full recursion worked by hand, with a mid-buffer episode boundary
+        // AND a non-terminal bootstrap — the two paths through `not_done`.
+        //
+        //   rewards = [1.0, -0.5, 2.0], values = [0.2, 0.4, 0.1]
+        //   dones   = [false, true, false], last_value = 0.7
+        //   gamma = 0.9, lambda = 0.8
+        //
+        //   t=2 (bootstraps): δ₂ = 2.0 + 0.9·0.7 − 0.1 = 2.53; A₂ = 2.53
+        //   t=1 (done):       δ₁ = −0.5 + 0 − 0.4 = −0.9;  A₁ = −0.9
+        //                     (done zeroes both the bootstrap and the tail)
+        //   t=0:              δ₀ = 1.0 + 0.9·0.4 − 0.2 = 1.16
+        //                     A₀ = 1.16 + 0.9·0.8·(−0.9) = 0.512
+        let (adv, ret) = gae(
+            &[1.0, -0.5, 2.0],
+            &[0.2, 0.4, 0.1],
+            &[false, true, false],
+            0.7,
+            0.9,
+            0.8,
+        );
+        let expected_adv = [0.512, -0.9, 2.53];
+        let expected_ret = [0.712, -0.5, 2.63];
+        for t in 0..3 {
+            assert!(
+                (adv[t] - expected_adv[t]).abs() < 1e-12,
+                "adv[{t}]={}",
+                adv[t]
+            );
+            assert!(
+                (ret[t] - expected_ret[t]).abs() < 1e-12,
+                "ret[{t}]={}",
+                ret[t]
+            );
+        }
     }
 
     #[test]

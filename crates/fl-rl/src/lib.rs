@@ -37,6 +37,7 @@ mod error;
 pub mod gae;
 mod normalize;
 mod policy;
+pub mod pool;
 mod ppo;
 pub mod runner;
 mod value;

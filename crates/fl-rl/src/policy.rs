@@ -334,10 +334,7 @@ impl GaussianPolicy {
     /// Differential entropy of the (state-independent-σ) Gaussian:
     /// `Σ_d (ln σ_d + ½ ln 2πe)`.
     pub fn entropy(&self) -> f64 {
-        self.log_std
-            .iter()
-            .map(|ls| ls + HALF_LN_2PI + 0.5)
-            .sum()
+        self.log_std.iter().map(|ls| ls + HALF_LN_2PI + 0.5).sum()
     }
 
     /// Training forward pass: computes the mean batch with gradient caches.
@@ -422,9 +419,7 @@ impl GaussianPolicy {
     /// Copies parameters from another policy of identical architecture —
     /// the `θ_a^old ← θ_a` sync of Algorithm 1 line 22.
     pub fn copy_params_from(&mut self, other: &GaussianPolicy) -> Result<()> {
-        if self.log_std.len() != other.log_std.len()
-            || self.is_shared() != other.is_shared()
-        {
+        if self.log_std.len() != other.log_std.len() || self.is_shared() != other.is_shared() {
             return Err(RlError::InvalidArgument(
                 "copy_params_from: architecture mismatch".to_string(),
             ));
@@ -437,7 +432,10 @@ impl GaussianPolicy {
 
     /// True when all parameters are finite.
     pub fn is_finite(&self) -> bool {
-        self.mean_net().export_params().iter().all(|p| p.is_finite())
+        self.mean_net()
+            .export_params()
+            .iter()
+            .all(|p| p.is_finite())
             && self.log_std.iter().all(|p| p.is_finite())
     }
 }
@@ -527,15 +525,9 @@ mod tests {
     fn copy_params_from_syncs() {
         let a = policy(8);
         let mut b = policy(9);
-        assert_ne!(
-            a.mean_net().export_params(),
-            b.mean_net().export_params()
-        );
+        assert_ne!(a.mean_net().export_params(), b.mean_net().export_params());
         b.copy_params_from(&a).unwrap();
-        assert_eq!(
-            a.mean_net().export_params(),
-            b.mean_net().export_params()
-        );
+        assert_eq!(a.mean_net().export_params(), b.mean_net().export_params());
         assert_eq!(a.log_std(), b.log_std());
     }
 
@@ -561,7 +553,8 @@ mod tests {
         // Analytic.
         p.zero_grad();
         let means = p.forward_means(&obs).unwrap();
-        p.accumulate_logprob_grads(&means, &actions, &weights).unwrap();
+        p.accumulate_logprob_grads(&means, &actions, &weights)
+            .unwrap();
         let mut analytic_mean_grads = Vec::new();
         p.mean_net_mut()
             .visit_params(|_, g| analytic_mean_grads.push(g));
@@ -634,9 +627,7 @@ mod tests {
         let statics = Matrix::zeros(2, 1);
         assert!(GaussianPolicy::new_shared(3, 2, statics.clone(), &[4], -0.5, &mut rng).is_err());
         assert!(GaussianPolicy::new_shared(0, 2, statics.clone(), &[4], -0.5, &mut rng).is_err());
-        assert!(
-            GaussianPolicy::new_shared(2, 2, statics, &[4], f64::NAN, &mut rng).is_err()
-        );
+        assert!(GaussianPolicy::new_shared(2, 2, statics, &[4], f64::NAN, &mut rng).is_err());
     }
 
     #[test]
@@ -687,7 +678,8 @@ mod tests {
 
         p.zero_grad();
         let means = p.forward_means(&obs).unwrap();
-        p.accumulate_logprob_grads(&means, &actions, &weights).unwrap();
+        p.accumulate_logprob_grads(&means, &actions, &weights)
+            .unwrap();
         let mut analytic = Vec::new();
         p.mean_net_mut().visit_params(|_, g| analytic.push(g));
 

@@ -322,9 +322,7 @@ impl PpoAgent {
         self.obs_norm.normalize(obs)
     }
 
-    /// Samples an action from `θ_a^old` (Algorithm 1 line 12). Updates the
-    /// observation statistics when in training mode.
-    pub fn act(&mut self, obs: &[f64], rng: &mut ChaCha8Rng) -> Result<ActOutput> {
+    fn check_obs(&self, obs: &[f64]) -> Result<()> {
         if obs.len() != self.policy.obs_dim() {
             return Err(RlError::InvalidArgument(format!(
                 "expected obs of dim {}, got {}",
@@ -332,11 +330,27 @@ impl PpoAgent {
                 obs.len()
             )));
         }
-        let norm_obs = if self.training {
-            self.obs_norm.update_and_normalize(obs)
-        } else {
-            self.obs_norm.normalize(obs)
-        };
+        Ok(())
+    }
+
+    /// Samples an action from `θ_a^old` (Algorithm 1 line 12). Updates the
+    /// observation statistics when in training mode.
+    pub fn act(&mut self, obs: &[f64], rng: &mut ChaCha8Rng) -> Result<ActOutput> {
+        self.check_obs(obs)?;
+        if self.training {
+            self.obs_norm.update(obs);
+        }
+        self.act_frozen(obs, rng)
+    }
+
+    /// Samples an action from `θ_a^old` **without** mutating the agent: the
+    /// observation statistics are read, never updated. This is the act path
+    /// of the parallel rollout engine, where worker threads share one agent
+    /// snapshot and the normalizer absorbs the raw observations later, at
+    /// merge time, in a fixed order ([`PpoAgent::absorb_obs`]).
+    pub fn act_frozen(&self, obs: &[f64], rng: &mut ChaCha8Rng) -> Result<ActOutput> {
+        self.check_obs(obs)?;
+        let norm_obs = self.obs_norm.normalize(obs);
         let (action, log_prob) = self.policy_old.sample(&norm_obs, rng)?;
         let value = self.value.predict(&norm_obs)?;
         Ok(ActOutput {
@@ -345,6 +359,18 @@ impl PpoAgent {
             log_prob,
             value,
         })
+    }
+
+    /// Absorbs a raw observation into the normalizer statistics (training
+    /// mode only) — the deferred half of [`PpoAgent::act_frozen`]. Calling
+    /// `absorb_obs` then `act_frozen` on the same observation reproduces
+    /// exactly what [`PpoAgent::act`] does in one step.
+    pub fn absorb_obs(&mut self, obs: &[f64]) -> Result<()> {
+        self.check_obs(obs)?;
+        if self.training {
+            self.obs_norm.update(obs);
+        }
+        Ok(())
     }
 
     /// Deterministic action — the current policy's mean. This is the online
@@ -495,9 +521,7 @@ impl PpoAgent {
                     }
                 };
                 if !vloss.is_finite() {
-                    return Err(RlError::Diverged(format!(
-                        "non-finite value loss {vloss}"
-                    )));
+                    return Err(RlError::Diverged(format!("non-finite value loss {vloss}")));
                 }
                 self.value.net_mut().zero_grad();
                 self.value.net_mut().backward(&dv)?;
@@ -626,14 +650,20 @@ mod tests {
         assert!(c.validate().is_ok());
         c.clip = 0.0;
         assert!(c.validate().is_err());
-        let mut c = PpoConfig::default();
-        c.gamma = 1.5;
+        let c = PpoConfig {
+            gamma: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PpoConfig::default();
-        c.epochs = 0;
+        let c = PpoConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PpoConfig::default();
-        c.entropy_coef = -0.1;
+        let c = PpoConfig {
+            entropy_coef: -0.1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -736,10 +766,7 @@ mod tests {
     }
 
     /// Fills a buffer from QuadEnv for update-path tests.
-    fn filled_buffer(
-        agent: &mut PpoAgent,
-        rng: &mut ChaCha8Rng,
-    ) -> crate::RolloutBuffer {
+    fn filled_buffer(agent: &mut PpoAgent, rng: &mut ChaCha8Rng) -> crate::RolloutBuffer {
         let mut env = QuadEnv::new(8);
         let mut buffer = agent.make_buffer().unwrap();
         let mut obs = env.reset(rng).unwrap();
@@ -820,14 +847,20 @@ mod tests {
 
     #[test]
     fn config_rejects_bad_extensions() {
-        let mut c = PpoConfig::default();
-        c.lr_decay = 0.0;
+        let c = PpoConfig {
+            lr_decay: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PpoConfig::default();
-        c.lr_decay = 1.5;
+        let c = PpoConfig {
+            lr_decay: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PpoConfig::default();
-        c.value_clip = Some(0.0);
+        let c = PpoConfig {
+            value_clip: Some(0.0),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -861,6 +894,10 @@ mod tests {
             };
         }
         let stats = agent.update(&buffer, 0.0, &mut rng).unwrap();
-        assert!(stats.epochs_run < 10, "expected early stop, ran {}", stats.epochs_run);
+        assert!(
+            stats.epochs_run < 10,
+            "expected early stop, ran {}",
+            stats.epochs_run
+        );
     }
 }

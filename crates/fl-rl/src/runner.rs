@@ -7,9 +7,12 @@
 
 use crate::buffer::{RolloutBuffer, Transition};
 use crate::env::Environment;
+use crate::pool::{self, WorkerStats};
 use crate::ppo::{PpoAgent, UpdateStats};
-use crate::Result;
+use crate::{Result, RlError};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 /// Outcome of [`train_steps`].
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +106,274 @@ pub fn evaluate_mean_reward<E: Environment>(
     Ok(total / episodes.max(1) as f64)
 }
 
+/// One completed episode observed by [`VecEnvRunner::train_steps`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeReport {
+    /// Index of the environment instance the episode ran in.
+    pub env: usize,
+    /// Total (undiscounted, unscaled) episode reward.
+    pub total_reward: f64,
+    /// Mean of [`Environment::step_metric`] over the episode (falls back to
+    /// `-reward` per step when the environment reports `None`).
+    pub mean_metric: f64,
+    /// Episode length in steps.
+    pub steps: usize,
+}
+
+/// Outcome of one [`VecEnvRunner::train_steps`] collection round.
+#[derive(Debug, Clone)]
+pub struct VecRolloutSummary {
+    /// Environment steps executed (`n_envs × steps_per_env`).
+    pub steps: usize,
+    /// Episodes that completed this round, in merge (environment) order.
+    pub episodes: Vec<EpisodeReport>,
+    /// Total raw reward collected across all environments.
+    pub total_reward: f64,
+    /// PPO updates triggered by buffer fills during the merge.
+    pub updates: Vec<UpdateStats>,
+    /// Per-worker execution telemetry from the collection fan-out.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock duration of the collection fan-out (excludes the merge).
+    pub collect_wall: Duration,
+}
+
+/// Everything a worker records about one environment step. `raw_obs` is
+/// kept so the merge can replay the normalizer updates the frozen-agent
+/// fan-out deferred; `next_raw_obs` feeds the bootstrap value when a buffer
+/// fill lands on this transition.
+struct StepRecord {
+    raw_obs: Vec<f64>,
+    norm_obs: Vec<f64>,
+    action: Vec<f64>,
+    log_prob: f64,
+    reward: f64,
+    value: f64,
+    done: bool,
+    next_raw_obs: Vec<f64>,
+}
+
+struct ChunkOutput {
+    records: Vec<StepRecord>,
+    episodes: Vec<EpisodeReport>,
+}
+
+struct EnvSlot<E> {
+    env: E,
+    rng: ChaCha8Rng,
+    /// Raw observation the next action will see; `None` before first reset.
+    obs: Option<Vec<f64>>,
+    // Accumulators for the episode in progress (episodes may span rounds).
+    ep_reward: f64,
+    ep_metric_sum: f64,
+    ep_steps: usize,
+}
+
+/// Steps `N` independent environment instances in parallel on a
+/// work-stealing pool, feeding one shared rollout buffer — the vectorized
+/// form of [`train_steps`].
+///
+/// # Determinism contract
+///
+/// For a fixed master seed and `n_envs`, results are **bit-identical for
+/// every worker count** (1 thread, 8 threads, or anything else). Three
+/// mechanisms make that hold:
+///
+/// 1. **Per-environment RNG streams.** Environment `i` owns a
+///    [`ChaCha8Rng`] seeded from the master seed on stream `i + 1`
+///    (stream 0 is left to the caller's master RNG, which only drives PPO
+///    minibatch shuffling). No worker ever touches another's stream.
+/// 2. **Frozen agent during collection.** Workers act through
+///    [`PpoAgent::act_frozen`] on a snapshot taken at round start, so a
+///    trajectory depends only on (snapshot, env state, env stream) — never
+///    on scheduling.
+/// 3. **Fixed merge order.** Transitions enter the shared buffer in
+///    environment-index order; deferred normalizer updates
+///    ([`PpoAgent::absorb_obs`]) and buffer-fill PPO updates replay in that
+///    same order on the calling thread.
+///
+/// The results *do* depend on `n_envs`: vectorization changes the data
+/// order relative to serial [`train_steps`], which is why the contract is
+/// stated per-configuration, not against the serial path.
+pub struct VecEnvRunner<E> {
+    slots: Vec<EnvSlot<E>>,
+    workers: usize,
+}
+
+impl<E: Environment + Send> VecEnvRunner<E> {
+    /// Builds a runner over `envs` instances. Environment `i` draws from
+    /// ChaCha8 stream `i + 1` of `master_seed`; `workers` caps the thread
+    /// pool (pass 1 to force the serial reference behavior).
+    pub fn new(envs: Vec<E>, master_seed: u64, workers: usize) -> Result<Self> {
+        if envs.is_empty() {
+            return Err(RlError::InvalidArgument(
+                "VecEnvRunner needs at least one environment".to_string(),
+            ));
+        }
+        let slots = envs
+            .into_iter()
+            .enumerate()
+            .map(|(i, env)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(master_seed);
+                rng.set_stream(i as u64 + 1);
+                EnvSlot {
+                    env,
+                    rng,
+                    obs: None,
+                    ep_reward: 0.0,
+                    ep_metric_sum: 0.0,
+                    ep_steps: 0,
+                }
+            })
+            .collect();
+        Ok(VecEnvRunner {
+            slots,
+            workers: workers.max(1),
+        })
+    }
+
+    /// Number of environment instances.
+    pub fn n_envs(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current worker cap.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Changes the worker cap (results are unaffected — that is the point).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Runs one collection round: every environment advances exactly
+    /// `steps_per_env` steps under a frozen snapshot of `agent`, then the
+    /// per-env chunks merge into `buffer` in environment order, triggering
+    /// a PPO update (and clear) at every fill, exactly like the serial
+    /// loop. Rewards are scaled by `reward_scale` on their way into the
+    /// buffer; diagnostics stay unscaled.
+    ///
+    /// For one update per round, size the buffer so that
+    /// `n_envs × steps_per_env == buffer_capacity`.
+    pub fn train_steps(
+        &mut self,
+        agent: &mut PpoAgent,
+        buffer: &mut RolloutBuffer,
+        steps_per_env: usize,
+        reward_scale: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<VecRolloutSummary> {
+        if steps_per_env == 0 {
+            return Err(RlError::InvalidArgument(
+                "steps_per_env must be nonzero".to_string(),
+            ));
+        }
+        if !(reward_scale > 0.0) || !reward_scale.is_finite() {
+            return Err(RlError::InvalidArgument(format!(
+                "reward_scale must be positive and finite, got {reward_scale}"
+            )));
+        }
+
+        // Snapshot the agent; workers act through the frozen copy while the
+        // live agent stays on this thread for the merge.
+        let snapshot = agent.clone();
+        let items: Vec<&mut EnvSlot<E>> = self.slots.iter_mut().collect();
+        let run = pool::run_indexed(self.workers, items, |env_idx, slot| {
+            collect_chunk(&snapshot, slot, env_idx, steps_per_env)
+        });
+
+        let mut summary = VecRolloutSummary {
+            steps: 0,
+            episodes: Vec::new(),
+            total_reward: 0.0,
+            updates: Vec::new(),
+            workers: run.workers,
+            collect_wall: run.wall,
+        };
+        // Merge in environment order — the only place the shared agent,
+        // normalizer, and buffer mutate, so worker scheduling is invisible.
+        for chunk in run.results {
+            let chunk = chunk?;
+            for record in chunk.records {
+                agent.absorb_obs(&record.raw_obs)?;
+                summary.total_reward += record.reward;
+                summary.steps += 1;
+                buffer.push(Transition {
+                    obs: record.norm_obs,
+                    action: record.action,
+                    log_prob: record.log_prob,
+                    reward: record.reward * reward_scale,
+                    value: record.value,
+                    done: record.done,
+                })?;
+                if buffer.is_full() {
+                    let last_value = if record.done {
+                        0.0
+                    } else {
+                        agent.bootstrap_value(&record.next_raw_obs)?
+                    };
+                    summary.updates.push(agent.update(buffer, last_value, rng)?);
+                    buffer.clear();
+                }
+            }
+            summary.episodes.extend(chunk.episodes);
+        }
+        Ok(summary)
+    }
+}
+
+/// Worker body: advances one environment `steps_per_env` steps under the
+/// frozen agent, recording everything the merge needs.
+fn collect_chunk<E: Environment>(
+    snapshot: &PpoAgent,
+    slot: &mut EnvSlot<E>,
+    env_idx: usize,
+    steps_per_env: usize,
+) -> Result<ChunkOutput> {
+    let mut out = ChunkOutput {
+        records: Vec::with_capacity(steps_per_env),
+        episodes: Vec::new(),
+    };
+    let mut obs = match slot.obs.take() {
+        Some(obs) => obs,
+        None => slot.env.reset(&mut slot.rng)?,
+    };
+    for _ in 0..steps_per_env {
+        let act = snapshot.act_frozen(&obs, &mut slot.rng)?;
+        let step = slot.env.step(&act.action)?;
+        let metric = slot.env.step_metric().unwrap_or(-step.reward);
+        slot.ep_reward += step.reward;
+        slot.ep_metric_sum += metric;
+        slot.ep_steps += 1;
+        out.records.push(StepRecord {
+            raw_obs: obs,
+            norm_obs: act.norm_obs,
+            action: act.action,
+            log_prob: act.log_prob,
+            reward: step.reward,
+            value: act.value,
+            done: step.done,
+            next_raw_obs: step.obs.clone(),
+        });
+        if step.done {
+            out.episodes.push(EpisodeReport {
+                env: env_idx,
+                total_reward: slot.ep_reward,
+                mean_metric: slot.ep_metric_sum / slot.ep_steps.max(1) as f64,
+                steps: slot.ep_steps,
+            });
+            slot.ep_reward = 0.0;
+            slot.ep_metric_sum = 0.0;
+            slot.ep_steps = 0;
+            obs = slot.env.reset(&mut slot.rng)?;
+        } else {
+            obs = step.obs;
+        }
+    }
+    slot.obs = Some(obs);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,8 +421,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut a = agent(&mut rng);
         let mut env = QuadEnv::new(16);
-        let before =
-            evaluate_mean_reward(&a, &mut env, 20, 16, &mut rng).unwrap();
+        let before = evaluate_mean_reward(&a, &mut env, 20, 16, &mut rng).unwrap();
         let mut buffer = a.make_buffer().unwrap();
         train_steps(&mut a, &mut env, &mut buffer, 4000, &mut rng).unwrap();
         let after = evaluate_mean_reward(&a, &mut env, 20, 16, &mut rng).unwrap();
@@ -159,6 +429,101 @@ mod tests {
             after > before,
             "no improvement: before={before}, after={after}"
         );
+    }
+
+    /// Full snapshot of everything a training round mutates, for exact
+    /// cross-thread-count comparison.
+    fn vec_train_fingerprint(n_envs: usize, workers: usize) -> (Vec<u64>, Vec<u64>, usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut a = agent(&mut rng);
+        let mut runner = VecEnvRunner::new(
+            (0..n_envs).map(|_| QuadEnv::new(8)).collect::<Vec<_>>(),
+            77,
+            workers,
+        )
+        .unwrap();
+        let mut buffer = a.make_buffer().unwrap();
+        let mut episode_bits = Vec::new();
+        let mut updates = 0;
+        for _ in 0..4 {
+            let summary = runner
+                .train_steps(&mut a, &mut buffer, 32, 1.0, &mut rng)
+                .unwrap();
+            for e in &summary.episodes {
+                episode_bits.push(e.total_reward.to_bits());
+                episode_bits.push(e.mean_metric.to_bits());
+                episode_bits.push(e.env as u64);
+            }
+            updates += summary.updates.len();
+        }
+        let params = a
+            .policy()
+            .mean_net()
+            .export_params()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        (episode_bits, params, updates)
+    }
+
+    #[test]
+    fn vec_rollout_identical_for_any_worker_count() {
+        let reference = vec_train_fingerprint(4, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                vec_train_fingerprint(4, workers),
+                reference,
+                "workers={workers} diverged from the serial reference"
+            );
+        }
+        assert!(reference.2 > 0, "rounds large enough to trigger updates");
+    }
+
+    #[test]
+    fn vec_rollout_bookkeeping() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut a = agent(&mut rng);
+        let mut runner =
+            VecEnvRunner::new((0..4).map(|_| QuadEnv::new(8)).collect::<Vec<_>>(), 5, 2).unwrap();
+        let mut buffer = a.make_buffer().unwrap();
+        // 4 envs × 32 steps = 128 = buffer capacity → exactly one update.
+        let summary = runner
+            .train_steps(&mut a, &mut buffer, 32, 1.0, &mut rng)
+            .unwrap();
+        assert_eq!(summary.steps, 128);
+        assert_eq!(summary.updates.len(), 1);
+        assert_eq!(buffer.len(), 0);
+        // 8-step episodes: each env completes 32/8 = 4 → 16 total, reported
+        // grouped by environment index (the merge order).
+        assert_eq!(summary.episodes.len(), 16);
+        let envs: Vec<usize> = summary.episodes.iter().map(|e| e.env).collect();
+        let mut sorted = envs.clone();
+        sorted.sort_unstable();
+        assert_eq!(envs, sorted, "episodes must arrive in env order");
+        // QuadEnv has no step_metric → mean_metric falls back to -reward.
+        for e in &summary.episodes {
+            assert!((e.mean_metric + e.total_reward / e.steps as f64).abs() < 1e-12);
+        }
+        let worker_tasks: usize = summary.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(worker_tasks, 4);
+    }
+
+    #[test]
+    fn vec_runner_rejects_bad_arguments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut a = agent(&mut rng);
+        assert!(VecEnvRunner::<QuadEnv>::new(vec![], 0, 1).is_err());
+        let mut runner = VecEnvRunner::new(vec![QuadEnv::new(4)], 0, 1).unwrap();
+        let mut buffer = a.make_buffer().unwrap();
+        assert!(runner
+            .train_steps(&mut a, &mut buffer, 0, 1.0, &mut rng)
+            .is_err());
+        assert!(runner
+            .train_steps(&mut a, &mut buffer, 4, 0.0, &mut rng)
+            .is_err());
+        assert!(runner
+            .train_steps(&mut a, &mut buffer, 4, f64::NAN, &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -101,6 +101,9 @@ mod tests {
             v.net_mut().backward(&dl).unwrap();
             opt.step(v.net_mut());
         }
-        assert!(last < first.unwrap() * 0.05, "no learning: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap() * 0.05,
+            "no learning: {first:?} -> {last}"
+        );
     }
 }

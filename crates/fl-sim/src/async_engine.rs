@@ -72,12 +72,7 @@ impl AsyncSession {
 /// Per round, a device spends `τ c_i D_i / δ_i` computing, then uploads
 /// `ξ` MB through its bandwidth trace; its next round starts the instant
 /// the upload lands (downloads are free, as in the synchronized model).
-pub fn run_async(
-    sys: &FlSystem,
-    freqs: &[f64],
-    t_start: f64,
-    t_end: f64,
-) -> Result<AsyncSession> {
+pub fn run_async(sys: &FlSystem, freqs: &[f64], t_start: f64, t_end: f64) -> Result<AsyncSession> {
     if freqs.len() != sys.num_devices() {
         return Err(SimError::InvalidArgument(format!(
             "expected {} frequencies, got {}",
@@ -230,14 +225,9 @@ mod tests {
     #[test]
     fn random_system_runs() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let traces = TraceSet::from_profile(
-            fl_net::synth::Profile::Walking4G,
-            3,
-            1200,
-            1.0,
-            &mut rng,
-        )
-        .unwrap();
+        let traces =
+            TraceSet::from_profile(fl_net::synth::Profile::Walking4G, 3, 1200, 1.0, &mut rng)
+                .unwrap();
         let assignment = traces.assign(4, &mut rng);
         let devices = DeviceSampler::default().sample_fleet(&assignment, &mut rng);
         let sys = FlSystem::new(devices, traces, FlConfig::default()).unwrap();
@@ -245,9 +235,6 @@ mod tests {
         let s = run_async(&sys, &freqs, 100.0, 400.0).unwrap();
         assert!(!s.arrivals.is_empty());
         assert!(s.total_energy > 0.0);
-        assert!(s
-            .rounds_per_device(4)
-            .iter()
-            .all(|&c| c > 0));
+        assert!(s.rounds_per_device(4).iter().all(|&c| c > 0));
     }
 }

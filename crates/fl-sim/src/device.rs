@@ -22,9 +22,7 @@ impl Range {
     /// Builds a range, validating `lo <= hi`.
     pub fn new(lo: f64, hi: f64) -> Result<Self> {
         if !(lo.is_finite() && hi.is_finite()) || lo > hi {
-            return Err(SimError::InvalidArgument(format!(
-                "bad range [{lo}, {hi}]"
-            )));
+            return Err(SimError::InvalidArgument(format!("bad range [{lo}, {hi}]")));
         }
         Ok(Range { lo, hi })
     }
@@ -130,7 +128,10 @@ pub struct DeviceSampler {
 impl Default for DeviceSampler {
     fn default() -> Self {
         DeviceSampler {
-            data_mb: Range { lo: 50.0, hi: 100.0 },
+            data_mb: Range {
+                lo: 50.0,
+                hi: 100.0,
+            },
             cycles_per_bit: Range { lo: 10.0, hi: 30.0 },
             delta_max_ghz: Range { lo: 1.0, hi: 2.0 },
             alpha: Range { lo: 0.05, hi: 0.2 },
@@ -155,11 +156,7 @@ impl DeviceSampler {
 
     /// Samples a fleet of `n` devices with the given trace assignment
     /// (one trace index per device).
-    pub fn sample_fleet(
-        &self,
-        assignment: &[usize],
-        rng: &mut impl Rng,
-    ) -> Vec<MobileDevice> {
+    pub fn sample_fleet(&self, assignment: &[usize], rng: &mut impl Rng) -> Vec<MobileDevice> {
         assignment
             .iter()
             .enumerate()

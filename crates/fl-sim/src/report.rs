@@ -107,7 +107,10 @@ impl SessionLedger {
 
     /// Per-iteration system cost (Fig. 7a/7d, Fig. 8 series).
     pub fn cost_series(&self) -> Vec<f64> {
-        self.iterations.iter().map(|r| r.cost(self.lambda)).collect()
+        self.iterations
+            .iter()
+            .map(|r| r.cost(self.lambda))
+            .collect()
     }
 
     /// Per-iteration duration `T^k` (Fig. 7b/7e series).
@@ -117,7 +120,10 @@ impl SessionLedger {
 
     /// Per-iteration total energy (Fig. 7c/7f series).
     pub fn energy_series(&self) -> Vec<f64> {
-        self.iterations.iter().map(IterationReport::total_energy).collect()
+        self.iterations
+            .iter()
+            .map(IterationReport::total_energy)
+            .collect()
     }
 
     /// Objective (9): total cost over all recorded iterations.

@@ -342,8 +342,8 @@ mod tests {
         // 10 MB: 5 MB in [5,10), then 5 MB at 10 MB/s = 0.5 s → 5.5 s total.
         let mut slots = vec![1.0; 10];
         slots.extend(vec![10.0; 10]);
-        let traces = TraceSet::new(vec![BandwidthTrace::new(1.0, slots).unwrap().cyclic()])
-            .unwrap();
+        let traces =
+            TraceSet::new(vec![BandwidthTrace::new(1.0, slots).unwrap().cyclic()]).unwrap();
         // 10 Gcycles at 2 GHz = 5 s compute.
         let d = simple_device(0, 0, 2.0);
         let sys = FlSystem::new(vec![d], traces, FlConfig::default()).unwrap();
@@ -374,14 +374,9 @@ mod tests {
     #[test]
     fn randomized_fleet_runs() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let traces = TraceSet::from_profile(
-            fl_net::synth::Profile::Walking4G,
-            3,
-            600,
-            1.0,
-            &mut rng,
-        )
-        .unwrap();
+        let traces =
+            TraceSet::from_profile(fl_net::synth::Profile::Walking4G, 3, 600, 1.0, &mut rng)
+                .unwrap();
         let assignment = traces.assign(5, &mut rng);
         let devices = DeviceSampler::default().sample_fleet(&assignment, &mut rng);
         let sys = FlSystem::new(devices, traces, FlConfig::default()).unwrap();

@@ -47,7 +47,7 @@ fn main() {
         let f = 0.2 * i as f64;
         let t = device.compute_time(1, f);
         let e = device.compute_energy(1, f);
-        let cost = model_cost(&[device.clone()], &params, &[bandwidth], &[f]).unwrap();
+        let cost = model_cost(std::slice::from_ref(&device), &params, &[bandwidth], &[f]).unwrap();
         println!("{f:>10.2} {t:>12.3} {e:>12.3} {cost:>12.3}");
     }
 
@@ -59,7 +59,7 @@ fn main() {
     );
     for &lambda in &[0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0] {
         let p = SolverParams { lambda, ..params };
-        let plan = optimize_frequencies(&[device.clone()], &p, &[bandwidth]).unwrap();
+        let plan = optimize_frequencies(std::slice::from_ref(&device), &p, &[bandwidth]).unwrap();
         let closed = (1.0 / (2.0 * lambda * device.alpha))
             .powf(1.0 / 3.0)
             .clamp(0.05 * device.delta_max_ghz, device.delta_max_ghz);

@@ -48,7 +48,11 @@ fn main() {
     let shards = data::split_non_iid(&dataset, n_devices, 0.8, &mut rng).expect("shards");
     println!("shard label balance (positive fraction per device):");
     for (i, s) in shards.iter().enumerate() {
-        println!("  device {i}: {:>5.2} ({} samples)", s.positive_fraction(), s.len());
+        println!(
+            "  device {i}: {:>5.2} ({} samples)",
+            s.positive_fraction(),
+            s.len()
+        );
     }
 
     let epsilon = 0.06; // constraint (10) threshold

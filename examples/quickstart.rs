@@ -6,8 +6,8 @@
 //! ```
 
 use fl_ctrl::{
-    build_system_with, compare_controllers, train_drl, FrequencyController,
-    HeuristicController, MaxFreqController, StaticController, TrainConfig,
+    build_system_with, compare_controllers, train_drl, FrequencyController, HeuristicController,
+    MaxFreqController, StaticController, TrainConfig,
 };
 use fl_net::synth::Profile;
 use fl_sim::{DeviceSampler, FlConfig, Range};
@@ -74,7 +74,10 @@ fn main() {
     ];
     let runs = compare_controllers(&sys, controllers, 200, 200.0).expect("evaluation");
 
-    println!("\n{:<12} {:>10} {:>10} {:>10}", "approach", "cost", "time(s)", "energy(J)");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10}",
+        "approach", "cost", "time(s)", "energy(J)"
+    );
     for r in &runs {
         let (c, t, e) = r.summary();
         println!("{:<12} {:>10.3} {:>10.3} {:>10.3}", r.name, c, t, e);

@@ -64,8 +64,8 @@ fn quick_train_config(episodes: usize, arch: PolicyArch) -> TrainConfig {
 fn trained_drl_beats_maxfreq_on_cost() {
     let sys = small_system(1, 3);
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let out = train_drl(&sys, &quick_train_config(600, PolicyArch::Joint), &mut rng)
-        .expect("training");
+    let out =
+        train_drl(&sys, &quick_train_config(600, PolicyArch::Joint), &mut rng).expect("training");
     let mut drl = out.controller;
     let drl_run = run_controller(&sys, &mut drl, 150, 300.0).expect("drl run");
     let mut maxf = MaxFreqController;
@@ -116,8 +116,8 @@ fn oracle_is_the_floor() {
 fn drl_controller_json_roundtrip_preserves_decisions() {
     let sys = small_system(5, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let out = train_drl(&sys, &quick_train_config(30, PolicyArch::Joint), &mut rng)
-        .expect("training");
+    let out =
+        train_drl(&sys, &quick_train_config(30, PolicyArch::Joint), &mut rng).expect("training");
     let mut original = out.controller;
     let json = original.to_json().expect("serialize");
     let mut restored = DrlController::from_json(&json).expect("deserialize");

@@ -1,0 +1,206 @@
+//! Offline vendored `criterion` subset.
+//!
+//! Implements the `criterion_group!` / `criterion_main!` / `bench_function`
+//! surface used by `fl-bench/benches/microbench.rs` with a plain wall-clock
+//! harness: warm up briefly, then run batches until a time budget is spent
+//! and report mean ns/iter to stdout. No statistics, plots, or baselines.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), every benchmark body runs exactly once as a smoke test.
+
+// Vendored shim: silence style lints, keep the code close to upstream shape.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration input sizing hint. Accepted for API compatibility; the
+/// shim always times each routine call individually, so the variants only
+/// matter to upstream criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream batches many per allocation.
+    SmallInput,
+    /// Large setup output; upstream batches few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    /// Filled by the timing loop: (total duration, iterations).
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warmup: let caches/allocators settle and estimate per-iter cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.budget / 10 && warmup_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.budget && iters < 10_000_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some((start.elapsed(), iters.max(1)));
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` output per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Setup time is excluded, so bound by accumulated *timed* duration.
+        while timed < self.budget && iters < 10_000_000 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((timed, iters.max(1)));
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            budget: self.budget,
+            measured: None,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((total, iters)) if !self.test_mode => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("{id:<40} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            Some(_) => println!("{id:<40} ok (test mode)"),
+            None => println!("{id:<40} (no measurement: bencher not driven)"),
+        }
+        self
+    }
+
+    /// Opens a named group; the shim simply prefixes benchmark ids.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_chains() {
+        let mut c = Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("counter", |b| b.iter(|| ran = ran.wrapping_add(1)))
+            .bench_function("batched", |b| {
+                b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+            });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion {
+            test_mode: true,
+            budget: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

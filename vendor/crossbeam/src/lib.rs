@@ -1,0 +1,98 @@
+//! Offline vendored `crossbeam` subset.
+//!
+//! Only the `thread::scope` API the workspace uses, implemented on top of
+//! `std::thread::scope` (stable since 1.63). One behavioral difference:
+//! where upstream returns `Err` when a spawned thread panics, this shim
+//! propagates the panic (std's scope semantics) — every call site
+//! `.expect(...)`s the result, so the observable outcome (abort with a
+//! message) is the same.
+
+// Vendored shim: silence style lints, keep the code close to upstream shape.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// A scope handle; `Copy` so spawned closures can receive their own.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives a copy of
+        /// the scope so it can spawn siblings, mirroring crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_fill_borrowed_slots() {
+            let mut slots = vec![0usize; 8];
+            super::scope(|scope| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    scope.spawn(move |_| {
+                        *slot = i * i;
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(slots, (0..8).map(|i| i * i).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn nested_spawn_via_passed_scope() {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline vendored `proptest` subset.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(..)]` header), numeric range strategies
+//! (`0u64..200`, `-5.0f64..5.0`, inclusive variants), `collection::vec`, and
+//! the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike upstream there is no shrinking and no persisted failure corpus:
+//! each test draws its cases from a ChaCha8 stream seeded from a hash of the
+//! test's name, so every run (and every thread count) sees the same inputs.
+//! On failure the panic message reports the case index so a run can be
+//! reproduced by reading the deterministic seed derivation below.
+
+// Vendored shim: silence style lints, keep the code close to upstream shape.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub mod strategy {
+    //! Value-generation strategies over a deterministic RNG.
+
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Something that can draw a value from an RNG. Upstream's `Strategy`
+    /// produces value *trees* for shrinking; this shim draws plain values.
+    pub trait Strategy {
+        /// Type of the generated value.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy,
+        std::ops::Range<T>: Clone + rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy,
+        std::ops::RangeInclusive<T>: Clone + rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Inclusive-exclusive or inclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty proptest size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution plumbing used by the generated test bodies.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — the property is violated.
+        Fail(String),
+        /// Input rejected by `prop_assume!` — draw another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` accepted cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; this shim has no shrinking, so keep
+            // runs brisk while still sweeping the input space.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// FNV-1a over the test name: a stable, platform-independent case seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drives one property: draws cases from a name-seeded ChaCha8 stream until
+/// `config.cases` accepted cases pass, panicking on the first failure.
+/// Rejections (`prop_assume!`) are skipped, with a cap to catch vacuous
+/// properties that reject everything.
+pub fn run_proptest<F>(config: &test_runner::Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut ChaCha8Rng) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(name_seed(name));
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest {name}: {rejected} inputs rejected before \
+                         {accepted} of {} cases passed — property is vacuous",
+                        config.cases
+                    );
+                }
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed at case {accepted} (after {rejected} rejects): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// upstream proptest) that runs the body over deterministically drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $cfg;
+                $crate::run_proptest(&__pt_config, stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __pt_rng);)+
+                    let __pt_out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __pt_out
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current input (drawing a fresh one) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(super::name_seed("t"));
+        let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(super::name_seed("t"));
+        let s = 0.0f64..1.0;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a).to_bits(), s.sample(&mut b).to_bits());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..3.0, n in 1u64..10, mut v in crate::collection::vec(0.0f64..1.0, 1..5)) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            v.push(0.5);
+            prop_assert!(v.iter().all(|e| (0.0..=1.0).contains(e)));
+        }
+
+        #[test]
+        fn assume_rejects_and_recovers(a in 0u64..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_case_index() {
+        crate::run_proptest(&ProptestConfig::with_cases(8), "always_fails", |_| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde facade.
+//!
+//! Built directly on the compiler's `proc_macro` token API (no `syn` /
+//! `quote` — the container has no registry access). Supports what the
+//! workspace actually contains: non-generic named structs, tuple structs,
+//! and enums whose variants are unit, single/multi-field tuple, or named
+//! struct variants; plus `#[serde(skip)]` on fields (omitted when
+//! serializing, `Default::default()` when deserializing). Enum encoding is
+//! externally tagged, matching upstream serde's default:
+//! `"Variant"` / `{"Variant": payload}`.
+
+// Vendored shim: silence style lints, keep the code close to upstream shape.
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        kind: Kind,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips `#[...]` attributes; returns true if any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    skip |= attr_is_serde_skip(g.stream());
+                }
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+        skip
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes tokens until a top-level (angle-bracket depth 0) comma,
+    /// which is also consumed. Used to skip field types / discriminants.
+    fn skip_until_toplevel_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth <= 0 {
+                        self.next();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(ts: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        cur.skip_until_toplevel_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts comma-separated entries at angle-depth 0 in a tuple field list.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut last_was_comma = false;
+    for tok in &toks {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth <= 0 => {
+                    count += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                Kind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                Kind::Named(fields)
+            }
+            _ => Kind::Unit,
+        };
+        // Consume an optional `= discriminant` and the separating comma.
+        cur.skip_until_toplevel_comma();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let kind = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Kind::Unit,
+            };
+            Item::Struct { name, kind }
+        }
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, kind } => {
+            let body = match kind {
+                Kind::Named(fields) => {
+                    let mut s =
+                        String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        s.push_str(&format!(
+                            "__m.insert(::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_value(&self.{0}));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__m)");
+                    s
+                }
+                Kind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Kind::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    Kind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Kind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Kind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __inner = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_inits(ty: &str, fields: &[Field], obj: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(\
+                 {obj}.get(\"{0}\").unwrap_or(&::serde::Value::Null))\
+                 .map_err(|__e| ::serde::DeError::context(\"{ty}.{0}\", __e))?,\n",
+                f.name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, kind } => {
+            let body = match kind {
+                Kind::Named(fields) => format!(
+                    "let __o = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     Ok({name} {{\n{}}})",
+                    gen_named_field_inits(name, fields, "__o")
+                ),
+                Kind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(__a.get({i})\
+                                 .ok_or_else(|| ::serde::DeError::custom(\
+                                 \"tuple struct {name} too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __a = __v.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Kind::Unit => format!("Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    Kind::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    Kind::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!(
+                                "{name}::{vn}(::serde::Deserialize::from_value(__inner)\
+                                 .map_err(|__e| ::serde::DeError::context(\"{name}::{vn}\", __e))?)"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__a.get({i})\
+                                         .ok_or_else(|| ::serde::DeError::custom(\
+                                         \"variant {vn} payload too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array payload for {vn}\"))?;\n\
+                                 {name}::{vn}({}) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!(
+                            "if let Some(__inner) = __o.get(\"{vn}\") {{ return Ok({ctor}); }}\n"
+                        ));
+                    }
+                    Kind::Named(fields) => {
+                        payload_arms.push_str(&format!(
+                            "if let Some(__inner) = __o.get(\"{vn}\") {{\n\
+                             let __io = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object payload for {vn}\"))?;\n\
+                             return Ok({name}::{vn} {{\n{}}});\n}}\n",
+                            gen_named_field_inits(name, fields, "__io")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(__o) => {{\n{payload_arms}\
+                 Err(::serde::DeError::custom(\"no known {name} variant key\"))\n}},\n\
+                 __other => Err(::serde::DeError::custom(format!(\
+                 \"expected {name} variant, got {{__other:?}}\"))),\n}}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
