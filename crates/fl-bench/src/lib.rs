@@ -155,6 +155,7 @@ impl Scenario {
                 history_len: 8,
                 episode_len: 50,
                 min_freq_frac: 0.1,
+                faults: None,
             },
             // Large fleets use the weight-shared per-device actor; the
             // N=3 testbed uses the paper-literal joint network.

@@ -41,9 +41,9 @@ fn solver_params(sys: &FlSystem, min_freq_frac: f64) -> SolverParams {
 
 /// Long-run mean bandwidth of each device's trace — the "average of some
 /// randomly selected bandwidth data" the Static baseline is built from.
-fn trace_mean_bandwidths(sys: &FlSystem) -> Vec<f64> {
+fn trace_mean_bandwidths(sys: &FlSystem) -> Result<Vec<f64>> {
     (0..sys.num_devices())
-        .map(|i| sys.trace_of(i).mean())
+        .map(|i| Ok(sys.trace_of(i)?.mean()))
         .collect()
 }
 
@@ -192,7 +192,7 @@ impl FrequencyController for HeuristicController {
             Some(report) => report.devices.iter().map(|d| d.avg_bandwidth).collect(),
             // First iteration: no observation yet; fall back to trace means
             // (equivalent to the Static estimate for one round).
-            None => trace_mean_bandwidths(sys),
+            None => trace_mean_bandwidths(sys)?,
         };
         let plan = optimize_frequencies(
             sys.devices(),
@@ -248,8 +248,8 @@ impl PredictiveController {
         make: impl Fn(f64) -> Box<dyn fl_net::predict::Predictor + Send>,
     ) -> Result<Self> {
         let predictors = (0..sys.num_devices())
-            .map(|i| make(sys.trace_of(i).mean()))
-            .collect();
+            .map(|i| Ok(make(sys.trace_of(i)?.mean())))
+            .collect::<Result<Vec<_>>>()?;
         Self::new(label, predictors, min_freq_frac)
     }
 }
@@ -329,7 +329,7 @@ impl OracleController {
         let d = &sys.devices()[device];
         let compute = d.compute_time(sys.config().tau, freq);
         let comm = sys
-            .trace_of(device)
+            .trace_of(device)?
             .transfer_time(t_start + compute, sys.config().model_size_mb)?;
         Ok(compute + comm)
     }
@@ -441,6 +441,10 @@ pub struct DrlController {
     pub history_len: usize,
     /// Squash floor used during training.
     pub min_freq_frac: f64,
+    /// When true (fault-aware training), the policy expects per-device
+    /// participation flags from the previous iteration appended to the
+    /// bandwidth observation — the `FlFreqEnv` observation tail.
+    pub participation_tail: bool,
 }
 
 impl DrlController {
@@ -465,6 +469,7 @@ impl DrlController {
             slot_h,
             history_len,
             min_freq_frac,
+            participation_tail: false,
         })
     }
 
@@ -495,9 +500,23 @@ impl FrequencyController for DrlController {
         _k: usize,
         t_start: f64,
         sys: &FlSystem,
-        _prev: Option<&IterationReport>,
+        prev: Option<&IterationReport>,
     ) -> Result<Vec<f64>> {
-        let obs = sys.observe_bandwidth_state(t_start, self.slot_h, self.history_len)?;
+        let mut obs = sys.observe_bandwidth_state(t_start, self.slot_h, self.history_len)?;
+        if self.participation_tail {
+            match prev {
+                Some(r) if r.devices.len() == sys.num_devices() => {
+                    obs.extend(
+                        r.devices
+                            .iter()
+                            .map(|d| if d.status.survived() { 1.0 } else { 0.0 }),
+                    );
+                }
+                // First iteration (or foreign report): optimistic flags,
+                // matching the env's post-reset convention.
+                _ => obs.resize(obs.len() + sys.num_devices(), 1.0),
+            }
+        }
         if obs.len() != self.policy.obs_dim() {
             return Err(CtrlError::InvalidArgument(format!(
                 "system produces obs dim {}, controller trained for {}",

@@ -1,8 +1,8 @@
 //! Online-reasoning harness: run controllers against the same physics.
 
 use crate::controllers::FrequencyController;
-use crate::Result;
-use fl_sim::{FlSystem, SessionLedger};
+use crate::{CtrlError, Result};
+use fl_sim::{FaultPlan, FlSystem, SessionLedger};
 use serde::{Deserialize, Serialize};
 
 /// A finished controller evaluation.
@@ -37,13 +37,39 @@ pub fn run_controller(
     iterations: usize,
     t_start: f64,
 ) -> Result<ControllerRun> {
+    run_controller_faulty(sys, ctrl, iterations, t_start, None)
+}
+
+/// [`run_controller`] under a pinned fault schedule: iteration `k` executes
+/// with `plan.faults_at(k)`. Passing the *same* plan to every controller
+/// makes chaos comparisons fair — each approach faces the identical
+/// dropout/straggler/blackout realization. `None` is the fault-free path.
+pub fn run_controller_faulty(
+    sys: &FlSystem,
+    ctrl: &mut dyn FrequencyController,
+    iterations: usize,
+    t_start: f64,
+    plan: Option<&FaultPlan>,
+) -> Result<ControllerRun> {
+    if let Some(p) = plan {
+        if p.n_devices() != sys.num_devices() {
+            return Err(CtrlError::InvalidArgument(format!(
+                "fault plan covers {} devices, system has {}",
+                p.n_devices(),
+                sys.num_devices()
+            )));
+        }
+    }
     ctrl.reset();
     let mut ledger = SessionLedger::new(sys.config().lambda);
     let mut t = t_start;
     let mut prev = None;
     for k in 0..iterations {
         let freqs = ctrl.decide(k, t, sys, prev.as_ref())?;
-        let report = sys.run_iteration(t, &freqs)?;
+        let report = match plan {
+            Some(p) => sys.run_iteration_faulty(t, &freqs, &p.faults_at(k as u64))?,
+            None => sys.run_iteration(t, &freqs)?,
+        };
         t = report.end_time();
         ledger.push(report.clone());
         prev = Some(report);
@@ -63,9 +89,21 @@ pub fn compare_controllers(
     iterations: usize,
     t_start: f64,
 ) -> Result<Vec<ControllerRun>> {
+    compare_controllers_faulty(sys, controllers, iterations, t_start, None)
+}
+
+/// [`compare_controllers`] under a pinned fault schedule — every controller
+/// faces the identical chaos realization (see [`run_controller_faulty`]).
+pub fn compare_controllers_faulty(
+    sys: &FlSystem,
+    controllers: Vec<Box<dyn FrequencyController + Send>>,
+    iterations: usize,
+    t_start: f64,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<ControllerRun>> {
     let workers = fl_rl::pool::default_workers().min(controllers.len().max(1));
     let run = fl_rl::pool::run_indexed(workers, controllers, |_, mut ctrl| {
-        run_controller(sys, ctrl.as_mut(), iterations, t_start)
+        run_controller_faulty(sys, ctrl.as_mut(), iterations, t_start, plan)
     });
     run.results.into_iter().collect()
 }
@@ -223,6 +261,51 @@ mod tests {
         let serial = run_controller(&sys, &mut direct, 10, 500.0).unwrap();
         assert_eq!(runs[0].ledger.cost_series(), serial.ledger.cost_series());
         assert_eq!(runs[1].ledger.cost_series(), serial.ledger.cost_series());
+    }
+
+    #[test]
+    fn faulty_evaluation_is_pinned_and_fault_free_when_none() {
+        use fl_sim::{FaultModel, FaultPlan};
+        let sys = system(6);
+        let model = FaultModel::chaos(0.3, 0.3, Some(120.0));
+        let plan = FaultPlan::new(model, 3, 42).unwrap();
+        let mut ctrl = MaxFreqController;
+        let r1 = run_controller_faulty(&sys, &mut ctrl, 30, 400.0, Some(&plan)).unwrap();
+        let r2 = run_controller_faulty(&sys, &mut ctrl, 30, 400.0, Some(&plan)).unwrap();
+        assert_eq!(r1.ledger.cost_series(), r2.ledger.cost_series());
+        let tally = r1.ledger.outcome_tally();
+        assert_eq!(tally.total(), 90, "3 devices x 30 iterations");
+        assert!(tally.dropped > 0, "30% dropout must show up in 90 rounds");
+        // A none-model plan reproduces the fault-free run bit for bit.
+        let clean = run_controller(&sys, &mut ctrl, 30, 400.0).unwrap();
+        let none_plan = FaultPlan::new(FaultModel::none(), 3, 42).unwrap();
+        let via_none = run_controller_faulty(&sys, &mut ctrl, 30, 400.0, Some(&none_plan)).unwrap();
+        assert_eq!(clean.ledger.cost_series(), via_none.ledger.cost_series());
+        assert_eq!(clean.ledger.outcome_tally().completed, 90);
+        // Plan arity is validated.
+        let bad = FaultPlan::new(model, 5, 1).unwrap();
+        assert!(run_controller_faulty(&sys, &mut ctrl, 5, 400.0, Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn faulty_compare_shares_one_schedule() {
+        use fl_sim::{FaultModel, FaultPlan};
+        let sys = system(7);
+        let plan = FaultPlan::new(FaultModel::chaos(0.4, 0.2, Some(90.0)), 3, 9).unwrap();
+        let runs = compare_controllers_faulty(
+            &sys,
+            vec![Box::new(MaxFreqController), Box::new(MaxFreqController)],
+            15,
+            500.0,
+            Some(&plan),
+        )
+        .unwrap();
+        // Identical controllers + identical pinned schedule → identical runs.
+        assert_eq!(runs[0].ledger.cost_series(), runs[1].ledger.cost_series());
+        assert_eq!(
+            runs[0].ledger.outcome_tally(),
+            runs[1].ledger.outcome_tally()
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::{CtrlError, Result};
 use fl_rl::{Environment, Step};
-use fl_sim::{FlSystem, IterationReport};
-use rand::Rng;
+use fl_sim::{FaultModel, FaultPlan, FlSystem, IterationReport};
+use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +22,12 @@ pub struct EnvConfig {
     /// finite; the paper's open interval `(0, δ_max]` needs some floor in
     /// any discretization).
     pub min_freq_frac: f64,
+    /// Optional fault-injection model. `None` (or `FaultModel::none()`)
+    /// keeps the environment bit-identical to the fault-free path: no
+    /// extra RNG draws, no observation tail. With faults enabled, every
+    /// episode draws a fresh [`FaultPlan`] seed from the env's RNG stream
+    /// and the observation gains per-device participation flags.
+    pub faults: Option<FaultModel>,
 }
 
 impl Default for EnvConfig {
@@ -31,6 +37,7 @@ impl Default for EnvConfig {
             history_len: 8,
             episode_len: 50,
             min_freq_frac: 0.1,
+            faults: None,
         }
     }
 }
@@ -55,7 +62,17 @@ impl EnvConfig {
                 self.min_freq_frac
             )));
         }
+        if let Some(m) = self.faults {
+            m.validate()?;
+        }
         Ok(())
+    }
+
+    /// True when a non-trivial fault model is configured — the switch for
+    /// every fault-aware code path (plan seeding, observation tail,
+    /// faulty iterations).
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some_and(|m| !m.is_none())
     }
 }
 
@@ -89,18 +106,27 @@ pub struct FlFreqEnv {
     t: f64,
     k: usize,
     last_report: Option<IterationReport>,
+    /// The episode's realized fault schedule (None on the fault-free path
+    /// or before the first faulty reset).
+    plan: Option<FaultPlan>,
+    /// Previous iteration's per-device participation flags (1.0 =
+    /// survived), appended to the observation when faults are enabled.
+    flags: Vec<f64>,
 }
 
 impl FlFreqEnv {
     /// Wraps a federated-learning system as an MDP.
     pub fn new(sys: FlSystem, cfg: EnvConfig) -> Result<Self> {
         cfg.validate()?;
+        let n = sys.num_devices();
         Ok(FlFreqEnv {
             sys,
             cfg,
             t: 0.0,
             k: 0,
             last_report: None,
+            plan: None,
+            flags: vec![1.0; n],
         })
     }
 
@@ -129,6 +155,28 @@ impl FlFreqEnv {
         self.last_report.as_ref()
     }
 
+    /// The episode's fault plan, if one is active.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Installs (or clears) an explicit fault plan — evaluation harnesses
+    /// use this to pin the exact same chaos schedule across controllers.
+    /// Training resets draw a fresh plan per episode instead.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) -> Result<()> {
+        if let Some(p) = &plan {
+            if p.n_devices() != self.sys.num_devices() {
+                return Err(CtrlError::InvalidArgument(format!(
+                    "fault plan covers {} devices, system has {}",
+                    p.n_devices(),
+                    self.sys.num_devices()
+                )));
+            }
+        }
+        self.plan = plan;
+        Ok(())
+    }
+
     /// Squashes a raw action vector into per-device frequencies.
     pub fn map_action(&self, raw: &[f64]) -> Vec<f64> {
         self.sys
@@ -140,9 +188,13 @@ impl FlFreqEnv {
     }
 
     fn observe(&self) -> Result<Vec<f64>> {
-        Ok(self
-            .sys
-            .observe_bandwidth_state(self.t, self.cfg.slot_h, self.cfg.history_len)?)
+        let mut obs =
+            self.sys
+                .observe_bandwidth_state(self.t, self.cfg.slot_h, self.cfg.history_len)?;
+        if self.cfg.faults_enabled() {
+            obs.extend_from_slice(&self.flags);
+        }
+        Ok(obs)
     }
 
     /// Resets to a random start time, fallible version.
@@ -150,6 +202,8 @@ impl FlFreqEnv {
         self.t = t_start;
         self.k = 0;
         self.last_report = None;
+        // Post-reset convention: every device assumed participating.
+        self.flags = vec![1.0; self.sys.num_devices()];
         self.observe()
     }
 
@@ -162,10 +216,23 @@ impl FlFreqEnv {
             )));
         }
         let freqs = self.map_action(action);
-        let report = self.sys.run_iteration(self.t, &freqs)?;
+        let report = match &self.plan {
+            Some(plan) => {
+                let faults = plan.faults_at(self.k as u64);
+                self.sys.run_iteration_faulty(self.t, &freqs, &faults)?
+            }
+            None => self.sys.run_iteration(self.t, &freqs)?,
+        };
         let reward = -report.cost(self.sys.config().lambda);
         self.t = report.end_time();
         self.k += 1;
+        if self.cfg.faults_enabled() {
+            self.flags = report
+                .devices
+                .iter()
+                .map(|d| if d.status.survived() { 1.0 } else { 0.0 })
+                .collect();
+        }
         self.last_report = Some(report);
         let done = self.k >= self.cfg.episode_len;
         Ok(Step {
@@ -178,7 +245,12 @@ impl FlFreqEnv {
 
 impl Environment for FlFreqEnv {
     fn obs_dim(&self) -> usize {
-        self.sys.num_devices() * (self.cfg.history_len + 1)
+        let base = self.sys.num_devices() * (self.cfg.history_len + 1);
+        if self.cfg.faults_enabled() {
+            base + self.sys.num_devices()
+        } else {
+            base
+        }
     }
 
     fn action_dim(&self) -> usize {
@@ -191,6 +263,18 @@ impl Environment for FlFreqEnv {
         // Keep the start beyond the history window so early slots exist
         // even on non-cyclic traces.
         let t = horizon + self.cfg.slot_h * (self.cfg.history_len as f64 + 1.0);
+        // The plan seed comes from the same per-env stream as the start
+        // time, so fault schedules are worker-count invariant. The draw is
+        // strictly gated on faults being enabled: the fault-free path
+        // consumes exactly the same RNG state as before this layer existed.
+        if self.cfg.faults_enabled() {
+            let model = self.cfg.faults.expect("faults_enabled implies Some");
+            let seed = rng.next_u64();
+            self.plan = Some(
+                FaultPlan::new(model, self.sys.num_devices(), seed)
+                    .map_err(|e| fl_rl::RlError::Environment(e.to_string()))?,
+            );
+        }
         self.reset_at(t)
             .map_err(|e| fl_rl::RlError::Environment(e.to_string()))
     }
@@ -374,6 +458,102 @@ mod tests {
         e.step(&[0.0, 0.0, 0.0]).unwrap();
         let report_duration = e.last_report().unwrap().duration;
         assert!((e.time() - t0 - report_duration).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_env_appends_participation_flags() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sys = build_system(
+            3,
+            3,
+            Profile::Walking4G,
+            1200,
+            fl_sim::FlConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let cfg = EnvConfig {
+            faults: Some(fl_sim::FaultModel::chaos(0.5, 0.5, Some(60.0))),
+            ..EnvConfig::default()
+        };
+        let mut e = FlFreqEnv::new(sys, cfg).unwrap();
+        // N=3, H=8 → 27 bandwidth entries + 3 participation flags.
+        assert_eq!(e.obs_dim(), 30);
+        let obs = e.reset(&mut rng).unwrap();
+        assert_eq!(obs.len(), 30);
+        assert!(obs[27..].iter().all(|&f| f == 1.0), "optimistic post-reset");
+        assert!(e.fault_plan().is_some());
+        let mut saw_nonsurvivor = false;
+        for _ in 0..20 {
+            let step = e.step(&[0.0, 0.0, 0.0]).unwrap();
+            let flags: Vec<f64> = e
+                .last_report()
+                .unwrap()
+                .survivor_flags()
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect();
+            assert_eq!(&step.obs[27..], &flags[..], "tail mirrors last report");
+            saw_nonsurvivor |= flags.contains(&0.0);
+        }
+        assert!(saw_nonsurvivor, "50% dropout but 20 rounds all clean?");
+    }
+
+    #[test]
+    fn none_fault_model_is_inert() {
+        // `faults: Some(FaultModel::none())` must behave exactly like
+        // `faults: None`: same dims, same RNG draws, same trajectory.
+        let build = |faults| {
+            let mut rng = ChaCha8Rng::seed_from_u64(12);
+            let sys = build_system(
+                2,
+                2,
+                Profile::Walking4G,
+                1200,
+                fl_sim::FlConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+            FlFreqEnv::new(
+                sys,
+                EnvConfig {
+                    faults,
+                    ..EnvConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut plain = build(None);
+        let mut none = build(Some(fl_sim::FaultModel::none()));
+        assert_eq!(plain.obs_dim(), none.obs_dim());
+        let mut rng_a = ChaCha8Rng::seed_from_u64(13);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(13);
+        assert_eq!(
+            plain.reset(&mut rng_a).unwrap(),
+            none.reset(&mut rng_b).unwrap()
+        );
+        assert!(none.fault_plan().is_none(), "no plan drawn for none model");
+        for _ in 0..5 {
+            let a = plain.step(&[0.3, -0.2]).unwrap();
+            let b = none.step(&[0.3, -0.2]).unwrap();
+            assert_eq!(a.obs, b.obs);
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+        }
+    }
+
+    #[test]
+    fn set_fault_plan_checks_arity() {
+        let mut e = env(14);
+        let model = fl_sim::FaultModel::chaos(0.1, 0.1, None);
+        assert!(e
+            .set_fault_plan(Some(fl_sim::FaultPlan::new(model, 5, 1).unwrap()))
+            .is_err());
+        assert!(e
+            .set_fault_plan(Some(fl_sim::FaultPlan::new(model, 3, 1).unwrap()))
+            .is_ok());
+        assert!(e.fault_plan().is_some());
+        assert!(e.set_fault_plan(None).is_ok());
+        assert!(e.fault_plan().is_none());
     }
 
     proptest! {

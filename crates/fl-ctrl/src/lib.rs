@@ -71,7 +71,8 @@ pub use controllers::{
 };
 pub use error::CtrlError;
 pub use experiment::{
-    compare_controllers, run_controller, run_parallel_sweep, ControllerRun, SweepReport,
+    compare_controllers, compare_controllers_faulty, run_controller, run_controller_faulty,
+    run_parallel_sweep, ControllerRun, SweepReport,
 };
 pub use flenv::{build_system, build_system_with, squash_to_freq, EnvConfig, FlFreqEnv};
 pub use online::OnlineDrlController;

@@ -122,6 +122,16 @@ fn validate_train_config(config: &TrainConfig) -> Result<()> {
             config.reward_scale
         )));
     }
+    if config.arch == PolicyArch::Shared && config.env.faults_enabled() {
+        // The weight-shared actor slices the observation into per-device
+        // bandwidth histories; the participation tail has no slot in that
+        // layout yet.
+        return Err(CtrlError::InvalidArgument(
+            "fault injection is not supported with PolicyArch::Shared (the \
+             participation tail does not fit the per-device feature layout)"
+                .to_string(),
+        ));
+    }
     config.env.validate()
 }
 
@@ -246,13 +256,14 @@ pub fn train_drl(
         });
     }
 
-    let controller = DrlController::new(
+    let mut controller = DrlController::new(
         agent.policy().clone(),
         agent.obs_norm().clone(),
         config.env.slot_h,
         config.env.history_len,
         config.env.min_freq_frac,
     )?;
+    controller.participation_tail = config.env.faults_enabled();
     Ok(TrainOutput {
         controller,
         episodes,
@@ -381,13 +392,14 @@ pub fn train_drl_parallel(
     }
     episodes.truncate(config.episodes);
 
-    let controller = DrlController::new(
+    let mut controller = DrlController::new(
         agent.policy().clone(),
         agent.obs_norm().clone(),
         config.env.slot_h,
         config.env.history_len,
         config.env.min_freq_frac,
     )?;
+    controller.participation_tail = config.env.faults_enabled();
     Ok(ParallelTrainOutput {
         output: TrainOutput {
             controller,
@@ -495,6 +507,39 @@ mod tests {
         assert!((tail2 - expected).abs() < 1e-12);
         // n larger than history is clamped.
         assert!(out.final_mean_cost(100).is_finite());
+    }
+
+    #[test]
+    fn fault_training_yields_tail_aware_controller() {
+        let sys = system(9);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut config = quick_config(6);
+        config.env.faults = Some(fl_sim::FaultModel::chaos(0.2, 0.2, Some(120.0)));
+        let out = train_drl(&sys, &config, &mut rng).unwrap();
+        let mut ctrl = out.controller;
+        assert!(ctrl.participation_tail);
+        // obs = 2 devices * (3+1) bandwidths + 2 flags.
+        assert_eq!(ctrl.policy().obs_dim(), 10);
+        // Deployable with and without a previous report.
+        let f0 = ctrl.decide(0, 500.0, &sys, None).unwrap();
+        assert_eq!(f0.len(), 2);
+        let report = sys.run_iteration(500.0, &f0).unwrap();
+        assert!(ctrl
+            .decide(1, report.end_time(), &sys, Some(&report))
+            .is_ok());
+    }
+
+    #[test]
+    fn shared_arch_rejects_fault_injection() {
+        let sys = system(11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut config = quick_config(4);
+        config.arch = PolicyArch::Shared;
+        config.env.faults = Some(fl_sim::FaultModel::chaos(0.2, 0.2, None));
+        assert!(train_drl(&sys, &config, &mut rng).is_err());
+        // A `none()` model is inert and must not trip the guard.
+        config.env.faults = Some(fl_sim::FaultModel::none());
+        assert!(train_drl(&sys, &config, &mut rng).is_ok());
     }
 
     /// The Fig. 6(b) property at unit-test scale: average system cost

@@ -27,6 +27,56 @@ impl Default for FedAvgConfig {
     }
 }
 
+/// `D_n`-weighted parameter averaging (the weighting of Eq. 8), extracted
+/// as a pure function so partial-participation aggregation can be tested
+/// against hand-computed values. `weights` are the raw per-update weights
+/// (e.g. shard sizes); they are normalized internally, so only their ratios
+/// matter.
+pub fn aggregate_params(updates: &[Vec<f64>], weights: &[f64]) -> Result<Vec<f64>> {
+    if updates.is_empty() {
+        return Err(LearnError::InvalidArgument(
+            "need at least one update to aggregate".to_string(),
+        ));
+    }
+    if updates.len() != weights.len() {
+        return Err(LearnError::InvalidArgument(format!(
+            "{} updates but {} weights",
+            updates.len(),
+            weights.len()
+        )));
+    }
+    let dim = updates[0].len();
+    if updates.iter().any(|u| u.len() != dim) {
+        return Err(LearnError::InvalidArgument(
+            "updates have mismatched dimensions".to_string(),
+        ));
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(LearnError::InvalidArgument(
+            "weights must be finite and non-negative".to_string(),
+        ));
+    }
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) {
+        return Err(LearnError::InvalidArgument(
+            "weights must not all be zero".to_string(),
+        ));
+    }
+    // Accumulate Σ w_i·p_i first and divide by Σ w_i once at the end: with
+    // integral weights (shard sizes) the intermediate sums stay exact, so
+    // small hand-computed cases aggregate without rounding error.
+    let mut aggregated = vec![0.0; dim];
+    for (update, weight) in updates.iter().zip(weights) {
+        for (agg, p) in aggregated.iter_mut().zip(update) {
+            *agg += weight * p;
+        }
+    }
+    for agg in &mut aggregated {
+        *agg /= total;
+    }
+    Ok(aggregated)
+}
+
 /// Metrics from one federated round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
@@ -112,6 +162,41 @@ impl FedAvg {
         })
     }
 
+    /// One round driven by per-device survival flags, as produced by the
+    /// fault-injected simulator (`fl-sim`'s `IterationReport::survivor_flags`):
+    /// exactly the devices whose flag is `true` contribute updates. Unlike
+    /// [`FedAvg::round_with_participants`], an *empty* surviving set is not an
+    /// error but a **no-op round**: every upload was lost, so the global model
+    /// is left unchanged and `mean_local_loss` reports `0.0` (no local
+    /// training counted toward the average).
+    pub fn round_with_survivors(
+        &mut self,
+        shards: &[LabeledData],
+        survived: &[bool],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<RoundReport> {
+        if survived.len() != shards.len() {
+            return Err(LearnError::InvalidArgument(format!(
+                "{} survival flags for {} shards",
+                survived.len(),
+                shards.len()
+            )));
+        }
+        let participants: Vec<usize> = survived
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.then_some(i))
+            .collect();
+        if participants.is_empty() {
+            return Ok(RoundReport {
+                global_loss: self.global_loss(shards)?,
+                mean_local_loss: 0.0,
+                accuracy: self.global_accuracy(shards)?,
+            });
+        }
+        self.round_with_participants(shards, &participants, rng)
+    }
+
     /// Samples `count` participants uniformly without replacement and runs
     /// a round with them.
     pub fn round_with_sampling(
@@ -175,17 +260,15 @@ impl FedAvg {
         };
 
         // D_n-weighted parameter average (the weighting of Eq. 8).
-        let total: f64 = shards.iter().map(|s| s.len() as f64).sum();
-        let mut aggregated = vec![0.0; self.global.num_params()];
+        let weights: Vec<f64> = shards.iter().map(|s| s.len() as f64).collect();
+        let mut updates = Vec::with_capacity(shards.len());
         let mut local_loss_sum = 0.0;
-        for (shard, result) in shards.iter().zip(results) {
+        for result in results {
             let (params, local_loss) = result?;
-            let w = shard.len() as f64 / total;
-            for (agg, p) in aggregated.iter_mut().zip(&params) {
-                *agg += w * p;
-            }
+            updates.push(params);
             local_loss_sum += local_loss;
         }
+        let aggregated = aggregate_params(&updates, &weights)?;
         self.global.import_params(&aggregated)?;
 
         Ok(RoundReport {
@@ -377,6 +460,72 @@ mod tests {
         assert!(fed
             .round_with_participants(&shards, &[1, 1], &mut r)
             .is_err());
+    }
+
+    #[test]
+    fn golden_partial_aggregate() {
+        // Three devices, weights 2:1:1; device 1's upload is lost, so only
+        // devices 0 and 2 are averaged with weights 2:1.
+        let updates = vec![vec![1.0, 2.0], vec![3.0, 5.0], vec![10.0, 20.0]];
+        let weights = [2.0, 1.0, 1.0];
+        let survivors = [0usize, 2];
+        let kept: Vec<Vec<f64>> = survivors.iter().map(|&i| updates[i].clone()).collect();
+        let kept_w: Vec<f64> = survivors.iter().map(|&i| weights[i]).collect();
+        let agg = aggregate_params(&kept, &kept_w).unwrap();
+        // Hand-computed: [(2*1 + 1*10)/3, (2*2 + 1*20)/3] = [4, 8].
+        assert_eq!(agg, vec![4.0, 8.0]);
+        // Full-set sanity: [(2*1 + 3 + 10)/4, (2*2 + 5 + 20)/4].
+        let full = aggregate_params(&updates, &weights).unwrap();
+        assert_eq!(full, vec![15.0 / 4.0, 29.0 / 4.0]);
+    }
+
+    #[test]
+    fn aggregate_params_rejects_bad_inputs() {
+        let u = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!(aggregate_params(&[], &[]).is_err());
+        assert!(aggregate_params(&u, &[1.0]).is_err());
+        assert!(aggregate_params(&[vec![1.0], vec![2.0, 3.0]], &[1.0, 1.0]).is_err());
+        assert!(aggregate_params(&u, &[1.0, -1.0]).is_err());
+        assert!(aggregate_params(&u, &[1.0, f64::NAN]).is_err());
+        assert!(aggregate_params(&u, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn survivor_round_matches_participant_round() {
+        let (fed_template, shards) = setup(24, 300, 3, 0.0);
+        let mut by_flags = fed_template.clone();
+        let mut by_index = fed_template.clone();
+        let mut r1 = rng(25);
+        let mut r2 = rng(25);
+        let a = by_flags
+            .round_with_survivors(&shards, &[true, false, true], &mut r1)
+            .unwrap();
+        let b = by_index
+            .round_with_participants(&shards, &[0, 2], &mut r2)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            by_flags.global().export_params(),
+            by_index.global().export_params()
+        );
+        // Arity mismatch is rejected.
+        assert!(by_flags
+            .round_with_survivors(&shards, &[true, false], &mut r1)
+            .is_err());
+    }
+
+    #[test]
+    fn all_dropped_round_is_a_noop() {
+        let (mut fed, shards) = setup(26, 200, 3, 0.0);
+        let before = fed.global().export_params();
+        let loss_before = fed.global_loss(&shards).unwrap();
+        let mut r = rng(27);
+        let report = fed
+            .round_with_survivors(&shards, &[false, false, false], &mut r)
+            .unwrap();
+        assert_eq!(fed.global().export_params(), before);
+        assert_eq!(report.global_loss, loss_before);
+        assert_eq!(report.mean_local_loss, 0.0);
     }
 
     #[test]

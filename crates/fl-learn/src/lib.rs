@@ -29,7 +29,7 @@ mod local;
 pub use async_fedavg::{AsyncFedAvg, AsyncFedAvgConfig, AsyncUpdateReport};
 pub use data::LabeledData;
 pub use error::LearnError;
-pub use fedavg::{FedAvg, FedAvgConfig, RoundReport};
+pub use fedavg::{aggregate_params, FedAvg, FedAvgConfig, RoundReport};
 pub use local::{LocalTrainer, Objective};
 
 /// Convenience alias for results in this crate.

@@ -97,7 +97,7 @@ pub fn run_async(sys: &FlSystem, freqs: &[f64], t_start: f64, t_end: f64) -> Res
                 max: d.delta_max_ghz,
             });
         }
-        let trace = sys.trace_of(i);
+        let trace = sys.trace_of(i)?;
         let mut t = t_start;
         loop {
             let compute = d.compute_time(tau, freq);

@@ -181,6 +181,7 @@ mod tests {
                     compute_energy: e,
                     comm_energy: 0.0,
                     avg_bandwidth: 1.0,
+                    status: crate::DeviceStatus::default(),
                 })
                 .collect(),
         }

@@ -16,6 +16,13 @@ pub enum SimError {
         /// That device's cap (GHz).
         max: f64,
     },
+    /// A device index was outside the fleet.
+    DeviceOutOfRange {
+        /// The requested device index.
+        device: usize,
+        /// Fleet size `N`.
+        n_devices: usize,
+    },
     /// A trace-level failure bubbled up from `fl-net`.
     Net(fl_net::NetError),
 }
@@ -27,6 +34,10 @@ impl fmt::Display for SimError {
             SimError::FrequencyOutOfRange { device, freq, max } => write!(
                 f,
                 "device {device}: frequency {freq} GHz outside (0, {max}]"
+            ),
+            SimError::DeviceOutOfRange { device, n_devices } => write!(
+                f,
+                "device index {device} out of range for a fleet of {n_devices}"
             ),
             SimError::Net(e) => write!(f, "network trace error: {e}"),
         }

@@ -55,6 +55,7 @@ pub mod async_engine;
 mod battery;
 mod device;
 mod error;
+pub mod fault;
 mod report;
 mod system;
 
@@ -62,7 +63,8 @@ pub use async_engine::{run_async, AsyncArrival, AsyncSession};
 pub use battery::{Battery, FleetBattery};
 pub use device::{DeviceSampler, MobileDevice, Range};
 pub use error::SimError;
-pub use report::{DeviceOutcome, IterationReport, SessionLedger};
+pub use fault::{DeviceFault, DeviceStatus, FaultModel, FaultPlan, IterationFaults};
+pub use report::{DeviceOutcome, IterationReport, OutcomeTally, SessionLedger};
 pub use system::{FlConfig, FlSystem};
 
 /// Convenience alias for results in this crate.

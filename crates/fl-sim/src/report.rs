@@ -1,5 +1,6 @@
 //! Per-iteration and per-session metric records.
 
+use crate::fault::DeviceStatus;
 use serde::{Deserialize, Serialize};
 
 /// What one device experienced during one synchronized iteration.
@@ -19,6 +20,9 @@ pub struct DeviceOutcome {
     pub comm_energy: f64,
     /// Realized average upload bandwidth `B_i^k` (MB/s), Eq. (3).
     pub avg_bandwidth: f64,
+    /// How the round ended for this device (always `Completed` on the
+    /// fault-free path).
+    pub status: DeviceStatus,
 }
 
 impl DeviceOutcome {
@@ -64,6 +68,64 @@ impl IterationReport {
     /// Total idle time across devices (the waste Fig. 3 highlights).
     pub fn total_idle(&self) -> f64 {
         self.devices.iter().map(|d| d.idle_time).sum()
+    }
+
+    /// Per-device "did the update reach the aggregator" flags, device
+    /// order.
+    pub fn survivor_flags(&self) -> Vec<bool> {
+        self.devices.iter().map(|d| d.status.survived()).collect()
+    }
+
+    /// Number of devices whose update survived this iteration.
+    pub fn survivors(&self) -> usize {
+        self.devices.iter().filter(|d| d.status.survived()).count()
+    }
+
+    /// Outcome counts `[Completed, Straggled, Dropped, Failed]`.
+    pub fn outcome_tally(&self) -> OutcomeTally {
+        let mut tally = OutcomeTally::default();
+        for d in &self.devices {
+            tally.add(d.status);
+        }
+        tally
+    }
+}
+
+/// Counts of per-device outcomes, accumulated over one or more iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OutcomeTally {
+    /// Devices that finished cleanly.
+    pub completed: usize,
+    /// Devices slowed by a fault whose update still arrived.
+    pub straggled: usize,
+    /// Devices that skipped their round.
+    pub dropped: usize,
+    /// Devices whose update was lost (upload failure or timeout).
+    pub failed: usize,
+}
+
+impl OutcomeTally {
+    /// Records one device outcome.
+    pub fn add(&mut self, status: DeviceStatus) {
+        match status {
+            DeviceStatus::Completed => self.completed += 1,
+            DeviceStatus::Straggled => self.straggled += 1,
+            DeviceStatus::Dropped => self.dropped += 1,
+            DeviceStatus::Failed => self.failed += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.completed += other.completed;
+        self.straggled += other.straggled;
+        self.dropped += other.dropped;
+        self.failed += other.failed;
+    }
+
+    /// Total outcomes recorded.
+    pub fn total(&self) -> usize {
+        self.completed + self.straggled + self.dropped + self.failed
     }
 }
 
@@ -158,6 +220,15 @@ impl SessionLedger {
         }
     }
 
+    /// Outcome counts summed over every recorded iteration.
+    pub fn outcome_tally(&self) -> OutcomeTally {
+        let mut tally = OutcomeTally::default();
+        for r in &self.iterations {
+            tally.merge(&r.outcome_tally());
+        }
+        tally
+    }
+
     /// Serializes the per-iteration series as CSV
     /// (`iteration,start,duration,energy,cost,idle`) for external plotting.
     pub fn to_csv(&self) -> String {
@@ -190,6 +261,7 @@ mod tests {
             compute_energy: 1.0,
             comm_energy: 0.5,
             avg_bandwidth: 2.0,
+            status: DeviceStatus::default(),
         }
     }
 
@@ -244,6 +316,39 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.starts_with("0,0.0000,10.0000,3.0000,11.5000"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn outcome_tallies_and_survivors() {
+        let mut r = report(0.0);
+        r.devices[0].status = DeviceStatus::Straggled;
+        r.devices[1].status = DeviceStatus::Dropped;
+        r.devices.push(outcome(1.0, 1.0, 1.0, 0.0)); // Completed
+        r.devices.push({
+            let mut o = outcome(1.0, 1.0, 1.0, 0.0);
+            o.status = DeviceStatus::Failed;
+            o
+        });
+        assert_eq!(r.survivor_flags(), vec![true, false, true, false]);
+        assert_eq!(r.survivors(), 2);
+        let t = r.outcome_tally();
+        assert_eq!(
+            t,
+            OutcomeTally {
+                completed: 1,
+                straggled: 1,
+                dropped: 1,
+                failed: 1
+            }
+        );
+        assert_eq!(t.total(), 4);
+
+        let mut l = SessionLedger::new(0.1);
+        l.push(r.clone());
+        l.push(r);
+        let summed = l.outcome_tally();
+        assert_eq!(summed.total(), 8);
+        assert_eq!(summed.dropped, 2);
     }
 
     #[test]

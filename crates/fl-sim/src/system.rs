@@ -1,5 +1,6 @@
 //! The synchronized-iteration engine.
 
+use crate::fault::{DeviceFault, DeviceStatus, IterationFaults};
 use crate::report::{DeviceOutcome, IterationReport};
 use crate::{MobileDevice, Result, SimError};
 use fl_net::TraceSet;
@@ -103,11 +104,17 @@ impl FlSystem {
         &self.traces
     }
 
-    /// The trace device `i` follows.
-    pub fn trace_of(&self, device: usize) -> &fl_net::BandwidthTrace {
-        self.traces
-            .get(self.devices[device].trace_idx)
-            .expect("trace indices validated at construction")
+    /// The trace device `i` follows. Errors (instead of panicking) when
+    /// the device index is outside the fleet.
+    pub fn trace_of(&self, device: usize) -> Result<&fl_net::BandwidthTrace> {
+        let d = self.devices.get(device).ok_or(SimError::DeviceOutOfRange {
+            device,
+            n_devices: self.devices.len(),
+        })?;
+        Ok(self
+            .traces
+            .get(d.trace_idx)
+            .expect("trace indices validated at construction"))
     }
 
     /// Task configuration.
@@ -143,6 +150,43 @@ impl FlSystem {
     /// bandwidth, and Eq. (3)'s realized average bandwidth is reported.
     /// `T^k` is the max over devices (Eq. 5); idle time is `T^k − T_i^k`.
     pub fn run_iteration(&self, t_start: f64, freqs: &[f64]) -> Result<IterationReport> {
+        // The benign schedule multiplies by 1.0 and caps at +∞ — exact
+        // identities in IEEE arithmetic, so this delegation is bit-identical
+        // to a dedicated fault-free loop.
+        self.run_iteration_faulty(t_start, freqs, &IterationFaults::none(self.devices.len()))
+    }
+
+    /// Fault-aware variant of [`FlSystem::run_iteration`]: evaluates the
+    /// same physics under a realized per-device fault schedule.
+    ///
+    /// Semantics (see DESIGN.md "Fault model & determinism contract"):
+    ///
+    /// * **Dropout** — the device skips the round: zero time, zero energy,
+    ///   excluded from `T^k`, status `Dropped`.
+    /// * **Straggler** — `cmp_factor` multiplies compute time *and* compute
+    ///   energy (the work is re-run, e.g. thermal throttling + retries);
+    ///   `com_factor` multiplies the active upload airtime and hence radio
+    ///   energy. Status `Straggled` when the update still arrives.
+    /// * **Blackout** — the window `[blackout_start_s, +dur)` (relative to
+    ///   `t_start`) halts transmission: wall-clock upload time stretches,
+    ///   but the radio is idle during the pause so `comm_energy` covers
+    ///   airtime only. The post-pause remainder is *not* re-integrated
+    ///   against the shifted trace (documented approximation).
+    /// * **Upload failure** — full time and energy are spent but the
+    ///   update is lost: status `Failed`.
+    /// * **Timeout** — the server waits at most `timeout_s` per device;
+    ///   `T^k` counts `min(T_i^k, timeout)` and later finishers are
+    ///   `Failed` (they still burn their full energy locally).
+    ///
+    /// `T^k` is the max of the capped waiting times over *non-dropped*
+    /// devices; when every device drops, the round is a no-op with
+    /// `duration = 0`.
+    pub fn run_iteration_faulty(
+        &self,
+        t_start: f64,
+        freqs: &[f64],
+        faults: &IterationFaults,
+    ) -> Result<IterationReport> {
         if freqs.len() != self.devices.len() {
             return Err(SimError::InvalidArgument(format!(
                 "expected {} frequencies, got {}",
@@ -150,14 +194,32 @@ impl FlSystem {
                 freqs.len()
             )));
         }
+        if faults.devices.len() != self.devices.len() {
+            return Err(SimError::InvalidArgument(format!(
+                "expected {} device faults, got {}",
+                self.devices.len(),
+                faults.devices.len()
+            )));
+        }
         if !(t_start.is_finite()) || t_start < 0.0 {
             return Err(SimError::InvalidArgument(format!(
                 "t_start must be finite and non-negative, got {t_start}"
             )));
         }
-        let mut outcomes = Vec::with_capacity(self.devices.len());
+        if let Some(t) = faults.timeout_s {
+            if !(t > 0.0) || !t.is_finite() {
+                return Err(SimError::InvalidArgument(format!(
+                    "timeout_s must be positive and finite, got {t}"
+                )));
+            }
+        }
+        let timeout = faults.timeout_s.unwrap_or(f64::INFINITY);
+        let n = self.devices.len();
+        let mut outcomes = Vec::with_capacity(n);
+        // How long the server actually waited on each device (capped).
+        let mut waited = Vec::with_capacity(n);
         let mut t_max: f64 = 0.0;
-        for (d, &freq) in self.devices.iter().zip(freqs) {
+        for ((d, &freq), fault) in self.devices.iter().zip(freqs).zip(&faults.devices) {
             if !(freq > 0.0) || freq > d.delta_max_ghz + 1e-12 || !freq.is_finite() {
                 return Err(SimError::FrequencyOutOfRange {
                     device: d.id,
@@ -165,32 +227,63 @@ impl FlSystem {
                     max: d.delta_max_ghz,
                 });
             }
-            let compute_time = d.compute_time(self.config.tau, freq);
+            if fault.dropout {
+                outcomes.push(DeviceOutcome {
+                    freq_ghz: freq,
+                    compute_time: 0.0,
+                    comm_time: 0.0,
+                    idle_time: 0.0,
+                    compute_energy: 0.0,
+                    comm_energy: 0.0,
+                    avg_bandwidth: 0.0,
+                    status: DeviceStatus::Dropped,
+                });
+                waited.push(0.0);
+                continue;
+            }
+            let compute_time = d.compute_time(self.config.tau, freq) * fault.cmp_factor;
             let upload_start = t_start + compute_time;
             let trace = self
                 .traces
                 .get(d.trace_idx)
                 .expect("validated at construction");
-            let comm_time = trace.transfer_time(upload_start, self.config.model_size_mb)?;
-            let avg_bandwidth = if comm_time > 0.0 {
-                self.config.model_size_mb / comm_time
+            // Airtime: seconds the radio actually transmits (Eq. 3
+            // integration, inflated by the straggler factor).
+            let airtime =
+                trace.transfer_time(upload_start, self.config.model_size_mb)? * fault.com_factor;
+            let comm_time = blackout_wall_time(t_start, upload_start, airtime, fault);
+            let avg_bandwidth = if airtime > 0.0 {
+                self.config.model_size_mb / airtime
             } else {
                 trace.bandwidth_at(upload_start)?
             };
             let total = compute_time + comm_time;
-            t_max = t_max.max(total);
+            let capped = total.min(timeout);
+            t_max = t_max.max(capped);
+            let lost = fault.upload_fail || total > timeout;
+            let slowed = fault.cmp_factor > 1.0 || fault.com_factor > 1.0 || comm_time > airtime;
             outcomes.push(DeviceOutcome {
                 freq_ghz: freq,
                 compute_time,
                 comm_time,
                 idle_time: 0.0, // filled in below once T^k is known
-                compute_energy: d.compute_energy(self.config.tau, freq),
-                comm_energy: d.comm_energy(comm_time),
+                compute_energy: d.compute_energy(self.config.tau, freq) * fault.cmp_factor,
+                comm_energy: d.comm_energy(airtime),
                 avg_bandwidth,
+                status: if lost {
+                    DeviceStatus::Failed
+                } else if slowed {
+                    DeviceStatus::Straggled
+                } else {
+                    DeviceStatus::Completed
+                },
             });
+            waited.push(capped);
         }
-        for o in &mut outcomes {
-            o.idle_time = t_max - o.total_time();
+        for (o, &w) in outcomes.iter_mut().zip(&waited) {
+            if o.status != DeviceStatus::Dropped {
+                o.idle_time = t_max - w;
+            }
         }
         Ok(IterationReport {
             start_time: t_start,
@@ -221,9 +314,29 @@ impl FlSystem {
     }
 }
 
+/// Wall-clock upload duration after applying a blackout pause.
+///
+/// The device needs `airtime` seconds of link time starting at
+/// `upload_start`; the window `[t_start + blackout_start_s, +dur)` halts
+/// transmission. The pause adds dead time only — the post-pause remainder
+/// is not re-integrated against the time-shifted trace.
+fn blackout_wall_time(t_start: f64, upload_start: f64, airtime: f64, fault: &DeviceFault) -> f64 {
+    if fault.blackout_dur_s <= 0.0 {
+        return airtime;
+    }
+    let b0 = t_start + fault.blackout_start_s;
+    let b1 = b0 + fault.blackout_dur_s;
+    if b1 <= upload_start || b0 >= upload_start + airtime {
+        return airtime; // window misses the active upload entirely
+    }
+    let before = (b0 - upload_start).max(0.0);
+    (b1 - upload_start) + (airtime - before)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultModel, FaultPlan};
     use crate::DeviceSampler;
     use fl_net::BandwidthTrace;
     use proptest::prelude::*;
@@ -372,6 +485,146 @@ mod tests {
     }
 
     #[test]
+    fn trace_of_rejects_out_of_range_device() {
+        let sys = system();
+        assert!(sys.trace_of(0).is_ok());
+        assert!(sys.trace_of(1).is_ok());
+        assert!(matches!(
+            sys.trace_of(5),
+            Err(SimError::DeviceOutOfRange {
+                device: 5,
+                n_devices: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn benign_faults_bitwise_match_fault_free_path() {
+        let sys = system();
+        let clean = sys.run_iteration(3.0, &[1.7, 1.2]).unwrap();
+        let faulty = sys
+            .run_iteration_faulty(3.0, &[1.7, 1.2], &IterationFaults::none(2))
+            .unwrap();
+        assert_eq!(clean, faulty);
+        assert!(clean
+            .devices
+            .iter()
+            .all(|d| d.status == DeviceStatus::Completed));
+    }
+
+    #[test]
+    fn dropout_excludes_device_from_round() {
+        // Device 0 is the straggler (T_0 = 10 s); dropping it hands the
+        // round to device 1 (T_1 = 7 s) and zeroes device 0 entirely.
+        let sys = system();
+        let mut faults = IterationFaults::none(2);
+        faults.devices[0].dropout = true;
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).unwrap();
+        assert!((r.duration - 7.0).abs() < 1e-9);
+        assert_eq!(r.devices[0].status, DeviceStatus::Dropped);
+        assert_eq!(r.devices[0].total_time(), 0.0);
+        assert_eq!(r.devices[0].total_energy(), 0.0);
+        assert_eq!(r.devices[0].idle_time, 0.0);
+        assert_eq!(r.devices[1].status, DeviceStatus::Completed);
+        assert_eq!(r.survivors(), 1);
+        // All dropped → no-op round.
+        faults.devices[1].dropout = true;
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).unwrap();
+        assert_eq!(r.duration, 0.0);
+        assert_eq!(r.survivors(), 0);
+        assert_eq!(r.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn straggler_inflates_time_and_energy() {
+        // Device 1 at factor 2: compute 5 → 10 s (energy 4 → 8 J), upload
+        // airtime 2 → 4 s (energy 0.4 → 0.8 J). Total 14 s sets T^k.
+        let sys = system();
+        let mut faults = IterationFaults::none(2);
+        faults.devices[1].cmp_factor = 2.0;
+        faults.devices[1].com_factor = 2.0;
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).unwrap();
+        assert!((r.duration - 14.0).abs() < 1e-9);
+        assert_eq!(r.devices[1].status, DeviceStatus::Straggled);
+        assert!((r.devices[1].compute_time - 10.0).abs() < 1e-9);
+        assert!((r.devices[1].comm_time - 4.0).abs() < 1e-9);
+        assert!((r.devices[1].compute_energy - 8.0).abs() < 1e-9);
+        assert!((r.devices[1].comm_energy - 0.8).abs() < 1e-9);
+        // The straggler's update still arrives.
+        assert_eq!(r.survivors(), 2);
+    }
+
+    #[test]
+    fn upload_failure_burns_energy_but_loses_update() {
+        let sys = system();
+        let clean = sys.run_iteration(0.0, &[2.0, 2.0]).unwrap();
+        let mut faults = IterationFaults::none(2);
+        faults.devices[1].upload_fail = true;
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).unwrap();
+        assert_eq!(r.devices[1].status, DeviceStatus::Failed);
+        // Identical physics — only the survival flag changes.
+        assert_eq!(r.duration, clean.duration);
+        assert_eq!(r.devices[1].total_energy(), clean.devices[1].total_energy());
+        assert_eq!(r.survivors(), 1);
+    }
+
+    #[test]
+    fn blackout_stretches_wall_time_not_energy() {
+        // Device 1: compute 5 s, upload airtime 2 s starting at t=5.
+        // Blackout [6, 9): 1 s transmitted, 3 s pause, 1 s remainder →
+        // wall comm time 5 s, airtime (and radio energy) unchanged.
+        let sys = system();
+        let mut faults = IterationFaults::none(2);
+        faults.devices[1].blackout_start_s = 6.0;
+        faults.devices[1].blackout_dur_s = 3.0;
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).unwrap();
+        assert!((r.devices[1].comm_time - 5.0).abs() < 1e-9);
+        assert!((r.devices[1].comm_energy - 0.4).abs() < 1e-9);
+        assert_eq!(r.devices[1].status, DeviceStatus::Straggled);
+        // A window that misses the upload changes nothing.
+        let mut miss = IterationFaults::none(2);
+        miss.devices[1].blackout_start_s = 0.0;
+        miss.devices[1].blackout_dur_s = 2.0;
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &miss).unwrap();
+        assert_eq!(r.devices[1].status, DeviceStatus::Completed);
+        assert!((r.devices[1].comm_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_caps_duration_and_fails_late_devices() {
+        // T_0 = 10 s, T_1 = 7 s; timeout 8 s → device 0 misses the cutoff
+        // (full energy spent, update lost), T^k = 8.
+        let sys = system();
+        let mut faults = IterationFaults::none(2);
+        faults.timeout_s = Some(8.0);
+        let r = sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).unwrap();
+        assert!((r.duration - 8.0).abs() < 1e-9);
+        assert_eq!(r.devices[0].status, DeviceStatus::Failed);
+        assert_eq!(r.devices[1].status, DeviceStatus::Completed);
+        assert!((r.devices[1].idle_time - 1.0).abs() < 1e-9);
+        let clean = sys.run_iteration(0.0, &[2.0, 2.0]).unwrap();
+        assert_eq!(r.total_energy(), clean.total_energy());
+        assert_eq!(r.survivors(), 1);
+    }
+
+    #[test]
+    fn faulty_iteration_validates_inputs() {
+        let sys = system();
+        // Wrong fault arity.
+        assert!(sys
+            .run_iteration_faulty(0.0, &[2.0, 2.0], &IterationFaults::none(3))
+            .is_err());
+        // Bad timeout.
+        let mut faults = IterationFaults::none(2);
+        faults.timeout_s = Some(-1.0);
+        assert!(sys.run_iteration_faulty(0.0, &[2.0, 2.0], &faults).is_err());
+        // Frequency bounds still enforced, even for dropped devices.
+        let mut faults = IterationFaults::none(2);
+        faults.devices[0].dropout = true;
+        assert!(sys.run_iteration_faulty(0.0, &[9.0, 2.0], &faults).is_err());
+    }
+
+    #[test]
     fn randomized_fleet_runs() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let traces =
@@ -419,6 +672,66 @@ mod tests {
             prop_assert!(
                 slowed.devices[1].compute_energy <= base.devices[1].compute_energy + 1e-9
             );
+        }
+
+        /// A straggler factor ≥ 1 never *decreases* `T^k`, on either
+        /// device, at any frequency pair.
+        #[test]
+        fn prop_straggler_never_decreases_duration(
+            factor in 1.0f64..4.0,
+            which in 0usize..2,
+            f0 in 0.2f64..2.0,
+            f1 in 0.2f64..2.0,
+        ) {
+            let sys = system();
+            let base = sys.run_iteration(0.0, &[f0, f1]).unwrap();
+            let mut faults = IterationFaults::none(2);
+            faults.devices[which].cmp_factor = factor;
+            faults.devices[which].com_factor = factor;
+            let slowed = sys.run_iteration_faulty(0.0, &[f0, f1], &faults).unwrap();
+            prop_assert!(slowed.duration >= base.duration - 1e-9);
+        }
+
+        /// Surviving-set accounting under a timeout cutoff never costs
+        /// more than waiting for the full set: `T^k` is capped, energy is
+        /// unchanged, so the Eq. 9 cost can only shrink.
+        #[test]
+        fn prop_timeout_cost_at_most_full_set(
+            timeout in 1.0f64..20.0,
+            f0 in 0.2f64..2.0,
+            f1 in 0.2f64..2.0,
+        ) {
+            let sys = system();
+            let full = sys.run_iteration(0.0, &[f0, f1]).unwrap();
+            let mut faults = IterationFaults::none(2);
+            faults.timeout_s = Some(timeout);
+            let cut = sys.run_iteration_faulty(0.0, &[f0, f1], &faults).unwrap();
+            prop_assert!(cut.duration <= timeout + 1e-12);
+            prop_assert!(cut.duration <= full.duration + 1e-12);
+            let lambda = sys.config().lambda;
+            prop_assert!(cut.cost(lambda) <= full.cost(lambda) + 1e-9);
+        }
+
+        /// Dropout probability extremes at the outcome level: 0 → no
+        /// `Dropped` status ever; 1 → every device `Dropped`.
+        #[test]
+        fn prop_dropout_extremes_in_outcomes(seed in 0u64..500, k in 0u64..20) {
+            let sys = system();
+            let always = FaultPlan::new(
+                FaultModel { dropout_prob: 1.0, ..FaultModel::none() },
+                2,
+                seed,
+            ).unwrap();
+            let r = sys
+                .run_iteration_faulty(0.0, &[2.0, 2.0], &always.faults_at(k))
+                .unwrap();
+            prop_assert!(r.devices.iter().all(|d| d.status == DeviceStatus::Dropped));
+            prop_assert_eq!(r.duration, 0.0);
+            let never = FaultPlan::new(FaultModel::chaos(0.0, 0.5, Some(60.0)), 2, seed).unwrap();
+            let r = sys
+                .run_iteration_faulty(0.0, &[2.0, 2.0], &never.faults_at(k))
+                .unwrap();
+            prop_assert!(r.devices.iter().all(|d| d.status != DeviceStatus::Dropped));
         }
     }
 }

@@ -1,0 +1,165 @@
+//! The fault layer's determinism contract, tested end to end: fault-injected
+//! DRL training and evaluation must be **bit-identical** across worker counts
+//! {1, 2, 4} — dropouts, stragglers, upload failures, and blackout windows
+//! all land on the same devices at the same iterations no matter how the
+//! rollout work is scheduled. And `FaultModel::none()` must be *inert*: a
+//! config carrying it trains to bit-for-bit the same controller as one with
+//! no fault model at all.
+
+use fl_ctrl::{
+    build_system, run_controller_faulty, train_drl_parallel, EnvConfig, EpisodeStats,
+    ParallelConfig, TrainConfig,
+};
+use fl_net::synth::Profile;
+use fl_rl::PpoConfig;
+use fl_sim::{FaultModel, FaultPlan, FlConfig, FlSystem, OutcomeTally};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const WORKER_MATRIX: [usize; 3] = [1, 2, 4];
+
+fn system(seed: u64) -> FlSystem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    build_system(
+        3,
+        3,
+        Profile::Walking4G,
+        2400,
+        FlConfig::default(),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+/// The chaos model used throughout: meaningful rates on every fault channel
+/// so the test exercises dropouts, stragglers, lost uploads, blackouts, and
+/// the timeout cutoff at once.
+fn chaos() -> FaultModel {
+    FaultModel::chaos(0.15, 0.2, Some(60.0))
+}
+
+fn quick_config(episodes: usize, faults: Option<FaultModel>) -> TrainConfig {
+    TrainConfig {
+        episodes,
+        ppo: PpoConfig {
+            hidden: vec![16],
+            buffer_capacity: 64,
+            minibatch_size: 32,
+            epochs: 4,
+            actor_lr: 1e-3,
+            critic_lr: 3e-3,
+            target_kl: None,
+            ..PpoConfig::default()
+        },
+        env: EnvConfig {
+            episode_len: 8,
+            history_len: 3,
+            faults,
+            ..EnvConfig::default()
+        },
+        arch: fl_ctrl::PolicyArch::Joint,
+        reward_scale: 0.05,
+    }
+}
+
+/// `(episode, mean_cost bits, total_reward bits, updates)` per episode.
+type EpisodeFingerprint = Vec<(usize, u64, u64, usize)>;
+
+/// Per-episode fingerprints plus the final actor parameters, bit-exact.
+fn train_fingerprint(
+    sys: &FlSystem,
+    workers: usize,
+    faults: Option<FaultModel>,
+) -> (EpisodeFingerprint, Vec<u64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let par = ParallelConfig { n_envs: 4, workers };
+    let out = train_drl_parallel(sys, &quick_config(12, faults), &par, &mut rng).unwrap();
+    let episodes = out
+        .output
+        .episodes
+        .iter()
+        .map(|e: &EpisodeStats| {
+            (
+                e.episode,
+                e.mean_cost.to_bits(),
+                e.total_reward.to_bits(),
+                e.updates_so_far,
+            )
+        })
+        .collect();
+    let params = out
+        .output
+        .controller
+        .policy()
+        .mean_net()
+        .export_params()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    (episodes, params)
+}
+
+#[test]
+fn fault_training_identical_across_worker_matrix() {
+    let sys = system(1);
+    let reference = train_fingerprint(&sys, WORKER_MATRIX[0], Some(chaos()));
+    assert_eq!(reference.0.len(), 12, "12 episodes requested");
+    for &workers in &WORKER_MATRIX[1..] {
+        let candidate = train_fingerprint(&sys, workers, Some(chaos()));
+        assert_eq!(
+            candidate, reference,
+            "fault-injected training with {workers} workers diverged from 1 worker"
+        );
+    }
+}
+
+#[test]
+fn fault_evaluation_identical_across_worker_matrix() {
+    // Beyond training stats: deploy each trained controller under a pinned
+    // chaos schedule and compare the cost series *and* the per-device
+    // outcome tallies bit for bit.
+    let sys = system(2);
+    let mut per_workers: Vec<(Vec<u64>, OutcomeTally)> = Vec::new();
+    for &workers in &WORKER_MATRIX {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let par = ParallelConfig { n_envs: 2, workers };
+        let out =
+            train_drl_parallel(&sys, &quick_config(6, Some(chaos())), &par, &mut rng).unwrap();
+        let mut ctrl = out.output.controller;
+        let plan = FaultPlan::new(chaos(), sys.num_devices(), 99).unwrap();
+        let run = run_controller_faulty(&sys, &mut ctrl, 15, 800.0, Some(&plan)).unwrap();
+        let bits: Vec<u64> = run
+            .ledger
+            .cost_series()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect();
+        per_workers.push((bits, run.ledger.outcome_tally()));
+    }
+    let chaos_hit = per_workers[0].1;
+    assert!(
+        chaos_hit.dropped + chaos_hit.failed + chaos_hit.straggled > 0,
+        "chaos schedule should actually perturb the evaluation: {chaos_hit:?}"
+    );
+    for (i, candidate) in per_workers.iter().enumerate().skip(1) {
+        assert_eq!(
+            candidate, &per_workers[0],
+            "fault-injected evaluation diverged at workers={}",
+            WORKER_MATRIX[i]
+        );
+    }
+}
+
+#[test]
+fn none_model_training_matches_fault_free() {
+    // `FaultModel::none()` must not consume RNG, widen observations, or
+    // otherwise leave a trace: training with it is bit-identical to training
+    // with no fault model configured at all.
+    let sys = system(3);
+    let with_none = train_fingerprint(&sys, 2, Some(FaultModel::none()));
+    let without = train_fingerprint(&sys, 2, None);
+    assert_eq!(
+        with_none, without,
+        "FaultModel::none() changed the training trajectory"
+    );
+}
