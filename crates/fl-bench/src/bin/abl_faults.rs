@@ -13,15 +13,24 @@
 //! moves the `timing:` line, never the table (cache status goes to stderr
 //! for the same reason — CI diffs stdout between worker counts).
 //!
-//! Usage: `cargo run --release -p fl-bench --bin abl_faults [episodes] [iters]`
+//! Usage:
+//! `cargo run --release -p fl-bench --bin abl_faults [episodes] [iters] [--ckpt DIR] [--kill-after FRAC]`
+//!
+//! `--ckpt DIR` bypasses the controller cache and trains with crash-safe
+//! checkpoints under `DIR`, resuming from any previous run there.
+//! `--kill-after FRAC` stops training cleanly after that fraction of the
+//! episode budget (stderr notice only, empty stdout) so CI can drill the
+//! kill-and-resume path.
 
 use fl_bench::{dump_json, workers_from_env, Scenario};
 use fl_ctrl::{
-    compare_controllers_faulty, FrequencyController, HeuristicController, StaticController,
+    compare_controllers_faulty, CheckpointOptions, FrequencyController, HeuristicController,
+    RunOptions, StaticController,
 };
 use fl_sim::{FaultModel, FaultPlan, OutcomeTally};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
 
 /// (dropout probability, straggler probability) sweep grid. The clean
 /// origin anchors the comparison; the rest stress each axis and the corner.
@@ -38,20 +47,78 @@ const GRID: [(f64, f64); 6] = [
 const TIMEOUT_S: f64 = 45.0;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let episodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
-    let iterations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let mut positional: Vec<String> = Vec::new();
+    let mut ckpt: Option<PathBuf> = None;
+    let mut kill_after: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ckpt" => {
+                ckpt = Some(PathBuf::from(
+                    args.next().expect("--ckpt needs a directory"),
+                ))
+            }
+            "--kill-after" => {
+                let frac: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--kill-after needs a fraction in (0, 1)");
+                assert!(frac > 0.0 && frac < 1.0, "--kill-after must be in (0, 1)");
+                kill_after = Some(frac);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let episodes: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let iterations: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
     let workers = workers_from_env();
 
     let scenario = Scenario::testbed();
     let sys = scenario.build();
+
+    // The kill half of a crash drill must not print the header either —
+    // its stdout stays empty so the resumed run diffs clean.
+    let (drl, cached) = if let Some(dir) = &ckpt {
+        // Checkpointed training bypasses the controller cache: the
+        // checkpoint directory *is* the resumable state.
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointOptions {
+                dir: dir.clone(),
+                every_episodes: (episodes / 8).max(1),
+                resume: true,
+            }),
+            stop_after_episodes: kill_after.map(|f| ((episodes as f64 * f) as usize).max(1)),
+            ..RunOptions::default()
+        };
+        let out = scenario
+            .train_with(&sys, episodes, &opts)
+            .expect("checkpointed training");
+        if out.episodes.len() < episodes {
+            eprintln!(
+                "abl_faults: training killed after {} of {episodes} episodes; \
+                 checkpoint saved in {} — re-run with the same --ckpt \
+                 (without --kill-after) to resume",
+                out.episodes.len(),
+                dir.display()
+            );
+            return;
+        }
+        (out.controller, false)
+    } else {
+        let (drl, cached) = scenario.train_cached(&sys, episodes);
+        (drl, cached)
+    };
     println!(
         "abl_faults: N={} walking traces, lambda={}, timeout={TIMEOUT_S}s, {iterations} iters/point",
         sys.num_devices(),
         sys.config().lambda
     );
-
-    let (drl, cached) = scenario.train_cached(&sys, episodes);
     // Stderr: the cache hits on the second run of a worker-count diff.
     eprintln!("DRL controller ready (cache hit: {cached})");
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xFA17);

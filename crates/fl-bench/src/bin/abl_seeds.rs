@@ -11,21 +11,54 @@
 //! work-stealing pool (`FL_WORKERS` bounds the thread count; results are
 //! identical for any value — only the reported timing changes).
 //!
-//! Usage: `cargo run --release -p fl-bench --bin abl_seeds [n_seeds] [episodes]`
+//! Usage:
+//! `cargo run --release -p fl-bench --bin abl_seeds [n_seeds] [episodes] [--ckpt DIR] [--kill-after FRAC]`
+//!
+//! `--ckpt DIR` checkpoints each seed's training under `DIR/seed-<s>/` and
+//! resumes from there on the next run. `--kill-after FRAC` stops every
+//! training cleanly after that fraction of its episode budget (the CI
+//! crash-and-resume drill): nothing is printed to stdout, so a killed run
+//! followed by a `--ckpt` resume must produce stdout bit-identical to a
+//! never-interrupted run.
 
 use fl_bench::{dump_json, workers_from_env, Scenario};
 use fl_ctrl::{
-    compare_controllers, run_parallel_sweep, FrequencyController, HeuristicController,
-    MaxFreqController, StaticController,
+    compare_controllers, run_parallel_sweep, CheckpointOptions, FrequencyController,
+    HeuristicController, MaxFreqController, RunOptions, StaticController,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n_seeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
-    let episodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(800);
+    let mut positional: Vec<String> = Vec::new();
+    let mut ckpt: Option<PathBuf> = None;
+    let mut kill_after: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ckpt" => {
+                ckpt = Some(PathBuf::from(
+                    args.next().expect("--ckpt needs a directory"),
+                ))
+            }
+            "--kill-after" => {
+                let frac: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--kill-after needs a fraction in (0, 1)");
+                assert!(frac > 0.0 && frac < 1.0, "--kill-after must be in (0, 1)");
+                kill_after = Some(frac);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let n_seeds: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let episodes: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
     let iterations = 300;
     let workers = workers_from_env();
 
@@ -37,7 +70,21 @@ fn main() {
         scenario.seed = scenario.seed.wrapping_add(1000 * s as u64);
         scenario.name = format!("seeds-{s}");
         let sys = scenario.build();
-        let out = scenario.train(&sys, episodes);
+        let opts = RunOptions {
+            checkpoint: ckpt.as_ref().map(|dir| CheckpointOptions {
+                dir: dir.join(format!("seed-{s}")),
+                every_episodes: (episodes / 8).max(1),
+                resume: true,
+            }),
+            stop_after_episodes: kill_after.map(|f| ((episodes as f64 * f) as usize).max(1)),
+            ..RunOptions::default()
+        };
+        let out = scenario.train_with(&sys, episodes, &opts)?;
+        if out.episodes.len() < episodes {
+            // Killed mid-training: the checkpoint holds the progress; a
+            // resumed run will finish the job. No evaluation to report.
+            return Ok(Vec::new());
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0x5EED);
         let stat = StaticController::new(&sys, 1000, 0.1, &mut rng).expect("static");
         let controllers: Vec<Box<dyn FrequencyController + Send>> = vec![
@@ -53,6 +100,17 @@ fn main() {
             .collect::<Vec<(String, f64)>>())
     })
     .expect("seed sweep");
+
+    if per_seed.iter().any(|costs| costs.is_empty()) {
+        // Stderr only: the crash half of a kill-and-resume drill must leave
+        // stdout empty so the resumed run's stdout diffs clean against an
+        // uninterrupted run.
+        eprintln!(
+            "abl_seeds: training killed by --kill-after; checkpoints saved — \
+             re-run with the same --ckpt (without --kill-after) to resume"
+        );
+        return;
+    }
 
     let mut per_controller: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut drl_wins = 0usize;

@@ -19,8 +19,9 @@
 #![warn(missing_docs)]
 
 use fl_ctrl::{
-    train_drl, train_drl_parallel, ControllerRun, DrlController, EnvConfig, ParallelConfig,
-    ParallelTrainOutput, PolicyArch, TrainConfig, TrainOutput,
+    train_drl, train_drl_opt, train_drl_parallel, train_drl_parallel_opt, ControllerRun,
+    DrlController, EnvConfig, ParallelConfig, ParallelTrainOutput, PolicyArch, RunOptions,
+    TrainConfig, TrainOutput,
 };
 use fl_net::stats::EmpiricalCdf;
 use fl_net::synth::Profile;
@@ -176,6 +177,19 @@ impl Scenario {
             .expect("training configuration is valid")
     }
 
+    /// [`Scenario::train`] with run options (checkpointing, supervision,
+    /// early stop). With `RunOptions::default()` this is bit-identical to
+    /// [`Scenario::train`].
+    pub fn train_with(
+        &self,
+        sys: &FlSystem,
+        episodes: usize,
+        opts: &RunOptions,
+    ) -> fl_ctrl::Result<TrainOutput> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xD51);
+        train_drl_opt(sys, &self.train_config(episodes), &mut rng, opts)
+    }
+
     /// Trains with the vectorized parallel rollout engine. Deterministic
     /// given the scenario seed and `par.n_envs`; `par.workers` only moves
     /// wall-clock time.
@@ -188,6 +202,20 @@ impl Scenario {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xD51);
         train_drl_parallel(sys, &self.train_config(episodes), par, &mut rng)
             .expect("training configuration is valid")
+    }
+
+    /// [`Scenario::train_parallel`] with run options (checkpointing,
+    /// supervision, early stop). With `RunOptions::default()` this is
+    /// bit-identical to [`Scenario::train_parallel`].
+    pub fn train_parallel_with(
+        &self,
+        sys: &FlSystem,
+        episodes: usize,
+        par: &ParallelConfig,
+        opts: &RunOptions,
+    ) -> fl_ctrl::Result<ParallelTrainOutput> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xD51);
+        train_drl_parallel_opt(sys, &self.train_config(episodes), par, &mut rng, opts)
     }
 
     /// Loads a cached trained controller from `target/` or trains and
@@ -205,7 +233,9 @@ impl Scenario {
         }
         let out = self.train(sys, episodes);
         if let Ok(json) = out.controller.to_json() {
-            let _ = std::fs::write(&path, json);
+            // Atomic write: a concurrent binary reading the cache sees
+            // either the old controller or the new one, never a torn file.
+            let _ = fl_rl::snapshot::atomic_write(&path, json.as_bytes());
         }
         (out.controller, false)
     }
@@ -235,7 +265,7 @@ impl Scenario {
         }
         let out = self.train_parallel(sys, episodes, par);
         if let Ok(json) = out.output.controller.to_json() {
-            let _ = std::fs::write(&path, json);
+            let _ = fl_rl::snapshot::atomic_write(&path, json.as_bytes());
         }
         (out.output.controller, false, Some(out.rounds))
     }
@@ -318,15 +348,14 @@ pub fn print_cdf(metric: &str, series: &[(String, Vec<f64>)], points: usize) {
 }
 
 /// Writes a JSON results blob next to the repo root so EXPERIMENTS.md
-/// numbers are regenerable.
+/// numbers are regenerable. The write is atomic (tmp + fsync + rename), so
+/// a crash mid-dump never leaves a torn results file behind.
 pub fn dump_json(filename: &str, value: &serde_json::Value) {
     let path = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(path);
     let full = path.join(filename);
-    match std::fs::write(
-        &full,
-        serde_json::to_string_pretty(value).expect("valid json"),
-    ) {
+    let text = serde_json::to_string_pretty(value).expect("valid json");
+    match fl_rl::snapshot::atomic_write(&full, text.as_bytes()) {
         Ok(()) => println!("\n[results written to {}]", full.display()),
         Err(e) => eprintln!("could not write {}: {e}", full.display()),
     }

@@ -15,6 +15,10 @@ pub enum CtrlError {
     Net(fl_net::NetError),
     /// Failure in the NN substrate.
     Nn(fl_nn::NnError),
+    /// Training aborted by the self-healing supervisor.
+    Train(crate::supervise::TrainError),
+    /// Checkpoint read/write/decode failure.
+    Snapshot(fl_rl::snapshot::SnapshotError),
 }
 
 impl fmt::Display for CtrlError {
@@ -25,6 +29,8 @@ impl fmt::Display for CtrlError {
             CtrlError::Rl(e) => write!(f, "rl error: {e}"),
             CtrlError::Net(e) => write!(f, "trace error: {e}"),
             CtrlError::Nn(e) => write!(f, "nn error: {e}"),
+            CtrlError::Train(e) => write!(f, "training error: {e}"),
+            CtrlError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -36,8 +42,22 @@ impl std::error::Error for CtrlError {
             CtrlError::Rl(e) => Some(e),
             CtrlError::Net(e) => Some(e),
             CtrlError::Nn(e) => Some(e),
+            CtrlError::Train(e) => Some(e),
+            CtrlError::Snapshot(e) => Some(e),
             CtrlError::InvalidArgument(_) => None,
         }
+    }
+}
+
+impl From<crate::supervise::TrainError> for CtrlError {
+    fn from(e: crate::supervise::TrainError) -> Self {
+        CtrlError::Train(e)
+    }
+}
+
+impl From<fl_rl::snapshot::SnapshotError> for CtrlError {
+    fn from(e: fl_rl::snapshot::SnapshotError) -> Self {
+        CtrlError::Snapshot(e)
     }
 }
 
@@ -83,5 +103,15 @@ mod tests {
         assert!(e.to_string().contains("d"));
         let e = CtrlError::InvalidArgument("e".into());
         assert!(e.source().is_none());
+        let e: CtrlError = crate::supervise::TrainError::Diverged {
+            strikes: 2,
+            cause: crate::supervise::DivergenceCause::NonFinite,
+        }
+        .into();
+        assert!(e.to_string().contains("2 strikes"));
+        assert!(e.source().is_some());
+        let e: CtrlError = fl_rl::snapshot::SnapshotError::BadChecksum.into();
+        assert!(e.to_string().contains("checkpoint"));
+        assert!(e.source().is_some());
     }
 }

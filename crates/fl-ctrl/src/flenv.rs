@@ -293,6 +293,83 @@ impl Environment for FlFreqEnv {
     }
 }
 
+/// The serialized form of [`FlFreqEnv`]'s mutable state. The wrapped
+/// system and config are construction-time constants, so only the episode
+/// cursor travels. The fault-plan seed is a full 64-bit value drawn from
+/// the env's RNG stream; it crosses the JSON payload as two `u32` halves
+/// because the vendored serde models every number as `f64` (lossy above
+/// 2⁵³).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FlFreqEnvState {
+    t: f64,
+    k: usize,
+    flags: Vec<f64>,
+    last_report: Option<IterationReport>,
+    plan: Option<PlanState>,
+}
+
+/// Serialized [`FaultPlan`]: model + split seed (device count comes from
+/// the system at import time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PlanState {
+    model: FaultModel,
+    seed_lo: u32,
+    seed_hi: u32,
+}
+
+impl fl_rl::SnapshotEnv for FlFreqEnv {
+    fn export_env_state(&self) -> serde::Value {
+        FlFreqEnvState {
+            t: self.t,
+            k: self.k,
+            flags: self.flags.clone(),
+            last_report: self.last_report.clone(),
+            plan: self.plan.as_ref().map(|p| {
+                let (seed_lo, seed_hi) = fl_rl::snapshot::split_u64(p.seed());
+                PlanState {
+                    model: *p.model(),
+                    seed_lo,
+                    seed_hi,
+                }
+            }),
+        }
+        .to_value()
+    }
+
+    fn import_env_state(&mut self, state: &serde::Value) -> fl_rl::Result<()> {
+        let bad = |e: String| fl_rl::RlError::InvalidArgument(e);
+        let s = FlFreqEnvState::from_value(state).map_err(|e| bad(e.to_string()))?;
+        let n = self.sys.num_devices();
+        if s.flags.len() != n {
+            return Err(bad(format!(
+                "env state has {} participation flags, system has {n} devices",
+                s.flags.len()
+            )));
+        }
+        if let Some(r) = &s.last_report {
+            if r.devices.len() != n {
+                return Err(bad(format!(
+                    "env state report covers {} devices, system has {n}",
+                    r.devices.len()
+                )));
+            }
+        }
+        let plan = match &s.plan {
+            Some(p) => Some(
+                FaultPlan::new(p.model, n, fl_rl::snapshot::join_u64(p.seed_lo, p.seed_hi))
+                    .map_err(|e| bad(e.to_string()))?,
+            ),
+            None => None,
+        };
+        self.t = s.t;
+        self.k = s.k;
+        self.flags = s.flags;
+        self.last_report = s.last_report;
+        self.plan = plan;
+        Ok(())
+    }
+}
+
 /// Builds a standard experiment system: `n_devices` sampled per the paper's
 /// Section V-A ranges, each assigned a random trace from `n_traces`
 /// generated with the given profile.
@@ -554,6 +631,61 @@ mod tests {
         assert!(e.fault_plan().is_some());
         assert!(e.set_fault_plan(None).is_ok());
         assert!(e.fault_plan().is_none());
+    }
+
+    #[test]
+    fn env_state_roundtrip_is_exact() {
+        use fl_rl::SnapshotEnv;
+        let build = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(20);
+            let sys = build_system(
+                2,
+                2,
+                Profile::Walking4G,
+                1200,
+                fl_sim::FlConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+            let cfg = EnvConfig {
+                episode_len: 6,
+                faults: Some(fl_sim::FaultModel::chaos(0.3, 0.3, Some(60.0))),
+                ..EnvConfig::default()
+            };
+            FlFreqEnv::new(sys, cfg).unwrap()
+        };
+        // Advance a donor env mid-episode, capture, restore into a fresh
+        // twin, and require bit-identical trajectories from there on.
+        let mut donor = build();
+        let mut rng = ChaCha8Rng::seed_from_u64(0xFEED_FACE_1234_5678);
+        donor.reset(&mut rng).unwrap();
+        donor.step(&[0.2, -0.4]).unwrap();
+        donor.step(&[-0.1, 0.6]).unwrap();
+        let state = donor.export_env_state();
+        let mut twin = build();
+        twin.import_env_state(&state).unwrap();
+        assert_eq!(twin.fault_plan(), donor.fault_plan(), "u64 seed survives");
+        for _ in 0..4 {
+            let a = donor.step(&[0.3, 0.3]).unwrap();
+            let b = twin.step(&[0.3, 0.3]).unwrap();
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+            assert_eq!(a.obs, b.obs);
+            assert_eq!(a.done, b.done);
+        }
+        // Foreign shapes are rejected, not absorbed.
+        let mut rng3 = ChaCha8Rng::seed_from_u64(21);
+        let sys3 = build_system(
+            3,
+            2,
+            Profile::Walking4G,
+            1200,
+            fl_sim::FlConfig::default(),
+            &mut rng3,
+        )
+        .unwrap();
+        let mut wrong = FlFreqEnv::new(sys3, EnvConfig::default()).unwrap();
+        assert!(wrong.import_env_state(&state).is_err());
+        assert!(twin.import_env_state(&serde::Value::Null).is_err());
     }
 
     proptest! {

@@ -62,6 +62,7 @@ pub mod experiment;
 mod flenv;
 pub mod online;
 pub mod solver;
+pub mod supervise;
 mod train;
 
 pub use config::{ControllerKind, ExperimentConfig, PredictorKind};
@@ -77,9 +78,13 @@ pub use experiment::{
 pub use flenv::{build_system, build_system_with, squash_to_freq, EnvConfig, FlFreqEnv};
 pub use online::OnlineDrlController;
 pub use solver::{model_cost, optimize_frequencies, FreqPlan, SolverParams};
+pub use supervise::{
+    DivergenceCause, Intervention, RecoveryAction, SupervisorPolicy, SupervisorState, TrainError,
+};
 pub use train::{
-    train_drl, train_drl_parallel, EpisodeStats, ParallelConfig, ParallelTrainOutput, PolicyArch,
-    TrainConfig, TrainOutput,
+    train_drl, train_drl_opt, train_drl_parallel, train_drl_parallel_opt, CheckpointOptions,
+    EpisodeStats, ParallelConfig, ParallelTrainOutput, PolicyArch, RunOptions, TrainConfig,
+    TrainOutput,
 };
 
 /// Convenience alias for results in this crate.

@@ -2,11 +2,18 @@
 
 use crate::controllers::DrlController;
 use crate::flenv::{EnvConfig, FlFreqEnv};
+use crate::supervise::{
+    reward_collapsed, DivergenceCause, Intervention, RecoveryAction, SupervisorPolicy,
+    SupervisorState, TrainError,
+};
 use crate::{CtrlError, Result};
-use fl_rl::{Environment, PpoAgent, PpoConfig, Transition};
+use fl_rl::runner::{RunnerState, VecEnvRunner};
+use fl_rl::snapshot::{self, CheckpointStore, RngState};
+use fl_rl::{Environment, PpoAgent, PpoConfig, RolloutBuffer, Transition};
 use fl_sim::FlSystem;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Actor-network architecture selection (see `fl_rl::MeanArch`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +103,9 @@ pub struct TrainOutput {
     pub controller: DrlController,
     /// Per-episode diagnostics.
     pub episodes: Vec<EpisodeStats>,
+    /// Every supervisor intervention (rollback/backoff/reseed) the run
+    /// survived — empty unless a [`SupervisorPolicy`] was active and fired.
+    pub interventions: Vec<Intervention>,
     /// The full trained agent (actor + critic + optimizer state), for
     /// continual-learning deployments (`OnlineDrlController`).
     pub agent: fl_rl::PpoAgent,
@@ -110,29 +120,37 @@ impl TrainOutput {
     }
 }
 
-fn validate_train_config(config: &TrainConfig) -> Result<()> {
-    if config.episodes == 0 {
-        return Err(CtrlError::InvalidArgument(
-            "episodes must be nonzero".to_string(),
-        ));
+impl TrainConfig {
+    /// Validates the complete configuration upfront — episode budget,
+    /// reward scaling, the full PPO hyperparameter set
+    /// ([`PpoConfig::validate`]), environment shape, and cross-field
+    /// constraints — so misconfiguration surfaces as one structured error
+    /// before any training work starts.
+    pub fn validate(&self) -> Result<()> {
+        if self.episodes == 0 {
+            return Err(CtrlError::InvalidArgument(
+                "episodes must be nonzero".to_string(),
+            ));
+        }
+        if !(self.reward_scale > 0.0) || !self.reward_scale.is_finite() {
+            return Err(CtrlError::InvalidArgument(format!(
+                "reward_scale must be positive and finite, got {}",
+                self.reward_scale
+            )));
+        }
+        self.ppo.validate().map_err(CtrlError::from)?;
+        if self.arch == PolicyArch::Shared && self.env.faults_enabled() {
+            // The weight-shared actor slices the observation into per-device
+            // bandwidth histories; the participation tail has no slot in that
+            // layout yet.
+            return Err(CtrlError::InvalidArgument(
+                "fault injection is not supported with PolicyArch::Shared (the \
+                 participation tail does not fit the per-device feature layout)"
+                    .to_string(),
+            ));
+        }
+        self.env.validate()
     }
-    if !(config.reward_scale > 0.0) || !config.reward_scale.is_finite() {
-        return Err(CtrlError::InvalidArgument(format!(
-            "reward_scale must be positive and finite, got {}",
-            config.reward_scale
-        )));
-    }
-    if config.arch == PolicyArch::Shared && config.env.faults_enabled() {
-        // The weight-shared actor slices the observation into per-device
-        // bandwidth histories; the participation tail has no slot in that
-        // layout yet.
-        return Err(CtrlError::InvalidArgument(
-            "fault injection is not supported with PolicyArch::Shared (the \
-             participation tail does not fit the per-device feature layout)"
-                .to_string(),
-        ));
-    }
-    config.env.validate()
 }
 
 /// Initializes the agent for either actor architecture.
@@ -189,73 +207,194 @@ pub fn train_drl(
     config: &TrainConfig,
     rng: &mut ChaCha8Rng,
 ) -> Result<TrainOutput> {
-    validate_train_config(config)?;
-    let mut env = FlFreqEnv::new(sys.clone(), config.env)?;
-    let lambda = sys.config().lambda;
-    let mut agent = build_agent(sys, config, env.obs_dim(), env.action_dim(), rng)?;
-    let mut buffer = agent.make_buffer().map_err(CtrlError::from)?;
+    train_drl_opt(sys, config, rng, &RunOptions::default())
+}
 
-    let mut episodes = Vec::with_capacity(config.episodes);
-    let mut updates_so_far = 0usize;
-    let mut last_policy_loss = f64::NAN;
-    let mut last_value_loss = f64::NAN;
-    let mut last_entropy = agent.policy().entropy();
+/// Where and how often [`train_drl_opt`] / [`train_drl_parallel_opt`]
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Directory for the double-buffered `ckpt-A`/`ckpt-B` slot files
+    /// (created if missing).
+    pub dir: PathBuf,
+    /// Save at the first episode boundary at least this many episodes
+    /// after the previous save. Must be nonzero.
+    pub every_episodes: usize,
+    /// Resume from the newest valid checkpoint in `dir` if one exists
+    /// (start fresh when the directory is empty). `false` ignores existing
+    /// checkpoints and overwrites them as training progresses.
+    pub resume: bool,
+}
 
-    for episode in 0..config.episodes {
-        let mut obs = env.reset(rng).map_err(CtrlError::from)?;
-        let mut total_reward = 0.0;
-        let mut cost_sum = 0.0;
-        let mut steps = 0usize;
-        loop {
-            let out = agent.act(&obs, rng).map_err(CtrlError::from)?;
-            let step = env.step(&out.action).map_err(CtrlError::from)?;
-            total_reward += step.reward;
-            cost_sum += env
-                .last_report()
-                .map(|r| r.cost(lambda))
-                .unwrap_or(-step.reward);
-            steps += 1;
-            buffer
-                .push(Transition {
-                    obs: out.norm_obs,
-                    action: out.action,
-                    log_prob: out.log_prob,
-                    reward: step.reward * config.reward_scale,
-                    value: out.value,
-                    done: step.done,
-                })
-                .map_err(CtrlError::from)?;
-            if buffer.is_full() {
-                let last_value = if step.done {
-                    0.0
-                } else {
-                    agent.bootstrap_value(&step.obs).map_err(CtrlError::from)?
-                };
-                let stats = agent
-                    .update(&buffer, last_value, rng)
-                    .map_err(CtrlError::from)?;
-                buffer.clear();
-                updates_so_far += 1;
-                last_policy_loss = stats.policy_loss;
-                last_value_loss = stats.value_loss;
-                last_entropy = stats.entropy;
+/// Optional behaviors of a training run. [`RunOptions::default`] is inert:
+/// `train_drl*_opt` with defaults is bit-identical to the plain
+/// [`train_drl`] / [`train_drl_parallel`] entry points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Crash-safe checkpointing (and resume) of the complete training
+    /// state.
+    pub checkpoint: Option<CheckpointOptions>,
+    /// Self-healing supervision: NaN/collapse detection with rollback to
+    /// the last good state and deterministic escalation.
+    pub supervisor: Option<SupervisorPolicy>,
+    /// Stop cleanly once this many episodes are recorded — the test
+    /// harness's deterministic "kill at episode N" (the run exits after
+    /// any due checkpoint, exactly as a crash between episodes would).
+    pub stop_after_episodes: Option<usize>,
+    /// Test hook: poison the N-th PPO update with a NaN parameter (see
+    /// [`PpoAgent::poison_update_for_test`]). Ignored when resuming.
+    pub poison_update: Option<u64>,
+}
+
+impl RunOptions {
+    /// Validates the option set.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(ck) = &self.checkpoint {
+            if ck.every_episodes == 0 {
+                return Err(CtrlError::InvalidArgument(
+                    "checkpoint cadence (every_episodes) must be nonzero".to_string(),
+                ));
             }
-            if step.done {
-                break;
-            }
-            obs = step.obs;
         }
-        episodes.push(EpisodeStats {
-            episode,
-            mean_cost: cost_sum / steps.max(1) as f64,
-            total_reward,
-            policy_loss: last_policy_loss,
-            value_loss: last_value_loss,
-            entropy: last_entropy,
-            updates_so_far,
-        });
+        if let Some(pol) = &self.supervisor {
+            pol.validate()?;
+        }
+        Ok(())
     }
+}
 
+/// The complete training state a checkpoint payload carries: agent (actor,
+/// critic, optimizer moments, obs normalizer), the partially filled PPO
+/// buffer, the master RNG position, the full episode history, supervisor
+/// bookkeeping, and (parallel path) every env slot's state and stream.
+/// Restoring this and continuing is bit-identical to never having stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrainState {
+    /// CRC-32 of the serialized [`TrainConfig`]; a resume under a
+    /// different configuration is refused rather than silently diverging.
+    config_digest: u32,
+    /// Parallel fan-out width the state was written under (0 = serial
+    /// path); guarded on resume.
+    n_envs: usize,
+    agent: PpoAgent,
+    buffer: RolloutBuffer,
+    master_rng: RngState,
+    episodes: Vec<EpisodeStats>,
+    updates_so_far: usize,
+    last_policy_loss: f64,
+    last_value_loss: f64,
+    last_entropy: f64,
+    supervisor: SupervisorState,
+    runner: Option<RunnerState>,
+}
+
+fn config_digest(config: &TrainConfig) -> Result<u32> {
+    Ok(snapshot::crc32(&snapshot::encode_payload(config)?))
+}
+
+/// Loads and sanity-checks the resume state, if resuming was requested and
+/// a checkpoint exists. `n_envs` is 0 for the serial path.
+fn load_resume_state(
+    opts: &RunOptions,
+    store: &Option<CheckpointStore>,
+    digest: u32,
+    n_envs: usize,
+) -> Result<Option<TrainState>> {
+    let (Some(ck), Some(store)) = (&opts.checkpoint, store) else {
+        return Ok(None);
+    };
+    if !ck.resume {
+        return Ok(None);
+    }
+    let Some((_seq, payload)) = store.load_latest()? else {
+        return Ok(None);
+    };
+    let st: TrainState = snapshot::decode_payload(&payload)?;
+    if st.config_digest != digest {
+        return Err(CtrlError::InvalidArgument(
+            "checkpoint was written under a different training configuration".to_string(),
+        ));
+    }
+    if st.n_envs != n_envs {
+        return Err(CtrlError::InvalidArgument(format!(
+            "checkpoint was written with n_envs={}, this run requests n_envs={}",
+            st.n_envs, n_envs
+        )));
+    }
+    Ok(Some(st))
+}
+
+/// Rolls training back to `last_good` after a divergence strike, applying
+/// the deterministic escalation ladder. Returns `Err(TrainError::Diverged)`
+/// once the strike budget is exhausted.
+fn recover(
+    st: &mut TrainState,
+    last_good: &Option<Vec<u8>>,
+    opts: &RunOptions,
+    rng: &mut ChaCha8Rng,
+    runner: Option<&mut VecEnvRunner<FlFreqEnv>>,
+    episode: usize,
+    cause: DivergenceCause,
+) -> Result<()> {
+    let pol = opts.supervisor.as_ref().expect("caller checked supervisor");
+    let mut sup = st.supervisor.clone();
+    sup.strikes += 1;
+    let strike = sup.strikes;
+    if strike >= pol.max_strikes {
+        return Err(TrainError::Diverged {
+            strikes: strike,
+            cause,
+        }
+        .into());
+    }
+    let reseed = runner.is_some() && strike >= pol.reseed_after;
+    sup.interventions.push(Intervention {
+        episode,
+        strike,
+        cause,
+        action: if reseed {
+            RecoveryAction::RollbackReseed
+        } else {
+            RecoveryAction::RollbackBackoff
+        },
+    });
+    sup.lr_scale *= pol.lr_backoff;
+    let bytes = last_good
+        .as_ref()
+        .expect("supervisor captures a baseline before training");
+    let mut restored: TrainState = snapshot::decode_payload(bytes)?;
+    // Strikes survive their own rollback: carry the bookkeeping forward and
+    // bring the restored agent's learning rates up to the cumulative scale
+    // (the snapshot may already have earlier backoffs baked in).
+    let factor = sup.lr_scale / restored.supervisor.lr_scale;
+    restored.agent.scale_learning_rates(factor);
+    restored.supervisor = sup;
+    *rng = restored.master_rng.restore()?;
+    if let Some(r) = runner {
+        let saved = restored
+            .runner
+            .as_ref()
+            .expect("parallel state carries runner slots");
+        r.import_state(saved).map_err(CtrlError::from)?;
+        if reseed {
+            // Move every env slot onto a fresh, strike-salted stream family
+            // so the replayed trajectory actually changes (deterministic:
+            // a resumed run derives the identical streams).
+            r.reseed_streams(strike as u64);
+        }
+    }
+    *st = restored;
+    Ok(())
+}
+
+/// Builds the final output from the finished training state.
+fn finish_output(st: TrainState, config: &TrainConfig) -> Result<TrainOutput> {
+    let TrainState {
+        agent,
+        mut episodes,
+        supervisor,
+        ..
+    } = st;
     let mut controller = DrlController::new(
         agent.policy().clone(),
         agent.obs_norm().clone(),
@@ -264,11 +403,206 @@ pub fn train_drl(
         config.env.min_freq_frac,
     )?;
     controller.participation_tail = config.env.faults_enabled();
+    episodes.truncate(config.episodes);
     Ok(TrainOutput {
         controller,
         episodes,
+        interventions: supervisor.interventions,
         agent,
     })
+}
+
+/// One serial training episode, operating directly on the training state
+/// (Algorithm 1 lines 6–23).
+fn run_serial_episode(
+    st: &mut TrainState,
+    env: &mut FlFreqEnv,
+    config: &TrainConfig,
+    lambda: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<()> {
+    let episode = st.episodes.len();
+    let mut obs = env.reset(rng).map_err(CtrlError::from)?;
+    let mut total_reward = 0.0;
+    let mut cost_sum = 0.0;
+    let mut steps = 0usize;
+    loop {
+        let out = st.agent.act(&obs, rng).map_err(CtrlError::from)?;
+        let step = env.step(&out.action).map_err(CtrlError::from)?;
+        total_reward += step.reward;
+        cost_sum += env
+            .last_report()
+            .map(|r| r.cost(lambda))
+            .unwrap_or(-step.reward);
+        steps += 1;
+        st.buffer
+            .push(Transition {
+                obs: out.norm_obs,
+                action: out.action,
+                log_prob: out.log_prob,
+                reward: step.reward * config.reward_scale,
+                value: out.value,
+                done: step.done,
+            })
+            .map_err(CtrlError::from)?;
+        if st.buffer.is_full() {
+            let last_value = if step.done {
+                0.0
+            } else {
+                st.agent
+                    .bootstrap_value(&step.obs)
+                    .map_err(CtrlError::from)?
+            };
+            let stats = st
+                .agent
+                .update(&st.buffer, last_value, rng)
+                .map_err(CtrlError::from)?;
+            st.buffer.clear();
+            st.updates_so_far += 1;
+            st.last_policy_loss = stats.policy_loss;
+            st.last_value_loss = stats.value_loss;
+            st.last_entropy = stats.entropy;
+        }
+        if step.done {
+            break;
+        }
+        obs = step.obs;
+    }
+    st.episodes.push(EpisodeStats {
+        episode,
+        mean_cost: cost_sum / steps.max(1) as f64,
+        total_reward,
+        policy_loss: st.last_policy_loss,
+        value_loss: st.last_value_loss,
+        entropy: st.last_entropy,
+        updates_so_far: st.updates_so_far,
+    });
+    Ok(())
+}
+
+/// [`train_drl`] with crash-safe checkpoint/resume and optional
+/// self-healing supervision.
+///
+/// # Resume determinism contract
+///
+/// With checkpointing on, interrupting the run anywhere (crash, kill,
+/// [`RunOptions::stop_after_episodes`]) and re-running with
+/// `resume: true` produces **bit-identical** results to the uninterrupted
+/// run: the same [`EpisodeStats`] series, the same final parameters, the
+/// same controller. Checkpoints capture everything training mutates —
+/// agent (incl. optimizer moments and obs-normalizer statistics), the
+/// partially filled PPO buffer, the master RNG position, episode history,
+/// and supervisor bookkeeping — in a CRC-checksummed, double-buffered,
+/// atomically written file pair (see `fl_rl::snapshot`).
+pub fn train_drl_opt(
+    sys: &FlSystem,
+    config: &TrainConfig,
+    rng: &mut ChaCha8Rng,
+    opts: &RunOptions,
+) -> Result<TrainOutput> {
+    config.validate()?;
+    opts.validate()?;
+    let mut env = FlFreqEnv::new(sys.clone(), config.env)?;
+    let lambda = sys.config().lambda;
+    let digest = config_digest(config)?;
+    let store = match &opts.checkpoint {
+        Some(ck) => Some(CheckpointStore::new(&ck.dir)?),
+        None => None,
+    };
+
+    let mut st = match load_resume_state(opts, &store, digest, 0)? {
+        Some(st) => {
+            *rng = st.master_rng.restore()?;
+            st
+        }
+        None => {
+            let mut agent = build_agent(sys, config, env.obs_dim(), env.action_dim(), rng)?;
+            if let Some(update) = opts.poison_update {
+                agent.poison_update_for_test(update);
+            }
+            let buffer = agent.make_buffer().map_err(CtrlError::from)?;
+            let last_entropy = agent.policy().entropy();
+            TrainState {
+                config_digest: digest,
+                n_envs: 0,
+                agent,
+                buffer,
+                master_rng: RngState::capture(rng),
+                episodes: Vec::new(),
+                updates_so_far: 0,
+                last_policy_loss: f64::NAN,
+                last_value_loss: f64::NAN,
+                last_entropy,
+                supervisor: SupervisorState::default(),
+                runner: None,
+            }
+        }
+    };
+
+    let mut last_good: Option<Vec<u8>> = None;
+    if opts.supervisor.is_some() {
+        st.master_rng = RngState::capture(rng);
+        last_good = Some(snapshot::encode_payload(&st)?);
+    }
+    let mut episodes_since_ckpt = 0usize;
+    let stop_at = opts.stop_after_episodes.unwrap_or(usize::MAX);
+
+    'training: while st.episodes.len() < config.episodes && st.episodes.len() < stop_at {
+        let episode = st.episodes.len();
+        match run_serial_episode(&mut st, &mut env, config, lambda, rng) {
+            Ok(()) => {}
+            Err(CtrlError::Rl(fl_rl::RlError::Diverged(msg))) => {
+                if opts.supervisor.is_none() {
+                    return Err(CtrlError::Rl(fl_rl::RlError::Diverged(msg)));
+                }
+                recover(
+                    &mut st,
+                    &last_good,
+                    opts,
+                    rng,
+                    None,
+                    episode,
+                    DivergenceCause::NonFinite,
+                )?;
+                continue 'training;
+            }
+            Err(e) => return Err(e),
+        }
+        if let Some(pol) = &opts.supervisor {
+            let costs: Vec<f64> = st.episodes.iter().map(|e| e.mean_cost).collect();
+            if reward_collapsed(&costs, pol.collapse_window, pol.collapse_factor) {
+                recover(
+                    &mut st,
+                    &last_good,
+                    opts,
+                    rng,
+                    None,
+                    episode,
+                    DivergenceCause::RewardCollapse,
+                )?;
+                continue 'training;
+            }
+        }
+        episodes_since_ckpt += 1;
+        let due = store.is_some()
+            && opts
+                .checkpoint
+                .as_ref()
+                .is_some_and(|ck| episodes_since_ckpt >= ck.every_episodes);
+        if due || opts.supervisor.is_some() {
+            st.master_rng = RngState::capture(rng);
+            let payload = snapshot::encode_payload(&st)?;
+            if due {
+                store.as_ref().expect("due implies store").save(&payload)?;
+                episodes_since_ckpt = 0;
+            }
+            if opts.supervisor.is_some() {
+                last_good = Some(payload);
+            }
+        }
+    }
+
+    finish_output(st, config)
 }
 
 /// Parallel-rollout settings for [`train_drl_parallel`].
@@ -337,75 +671,183 @@ pub fn train_drl_parallel(
     par: &ParallelConfig,
     rng: &mut ChaCha8Rng,
 ) -> Result<ParallelTrainOutput> {
-    validate_train_config(config)?;
+    train_drl_parallel_opt(sys, config, par, rng, &RunOptions::default())
+}
+
+/// [`train_drl_parallel`] with crash-safe checkpoint/resume and optional
+/// self-healing supervision.
+///
+/// The resume determinism contract of [`train_drl_opt`] holds here too,
+/// and composes with the parallel determinism contract: a run interrupted
+/// at any round boundary and resumed — even under a *different*
+/// `par.workers` — is bit-identical to the uninterrupted run at the
+/// original worker count. Checkpoints additionally capture every
+/// environment slot (mid-episode state, per-env RNG stream position,
+/// episode accumulators), and a resumed run never re-draws the master
+/// seed. Worker telemetry ([`ParallelTrainOutput::rounds`]) covers only
+/// the rounds this process executed — it is physical, not part of the
+/// deterministic state.
+pub fn train_drl_parallel_opt(
+    sys: &FlSystem,
+    config: &TrainConfig,
+    par: &ParallelConfig,
+    rng: &mut ChaCha8Rng,
+    opts: &RunOptions,
+) -> Result<ParallelTrainOutput> {
+    config.validate()?;
     par.validate()?;
+    opts.validate()?;
+    let digest = config_digest(config)?;
+    let store = match &opts.checkpoint {
+        Some(ck) => Some(CheckpointStore::new(&ck.dir)?),
+        None => None,
+    };
     let envs: Vec<FlFreqEnv> = (0..par.n_envs)
         .map(|_| FlFreqEnv::new(sys.clone(), config.env))
         .collect::<std::result::Result<_, _>>()?;
     let obs_dim = envs[0].obs_dim();
     let action_dim = envs[0].action_dim();
-    let mut agent = build_agent(sys, config, obs_dim, action_dim, rng)?;
-    let mut buffer = agent.make_buffer().map_err(CtrlError::from)?;
 
-    // Environment RNG streams split off the master seed; the master RNG
-    // itself keeps driving only agent init + PPO minibatch shuffling.
-    let master_seed = rand::RngCore::next_u64(rng);
-    let mut runner = fl_rl::runner::VecEnvRunner::new(envs, master_seed, par.workers)
-        .map_err(CtrlError::from)?;
+    let (mut st, mut runner) = match load_resume_state(opts, &store, digest, par.n_envs)? {
+        Some(st) => {
+            *rng = st.master_rng.restore()?;
+            // The constructor seed is a placeholder: import_state overwrites
+            // every slot (env state, stream, position) from the checkpoint,
+            // so the master seed is never re-drawn on resume.
+            let mut runner = VecEnvRunner::new(envs, 0, par.workers).map_err(CtrlError::from)?;
+            let saved = st.runner.as_ref().ok_or_else(|| {
+                CtrlError::InvalidArgument(
+                    "checkpoint carries no runner state (serial-path checkpoint?)".to_string(),
+                )
+            })?;
+            runner.import_state(saved).map_err(CtrlError::from)?;
+            (st, runner)
+        }
+        None => {
+            let mut agent = build_agent(sys, config, obs_dim, action_dim, rng)?;
+            if let Some(update) = opts.poison_update {
+                agent.poison_update_for_test(update);
+            }
+            let buffer = agent.make_buffer().map_err(CtrlError::from)?;
+            let last_entropy = agent.policy().entropy();
+            // Environment RNG streams split off the master seed; the master
+            // RNG itself keeps driving only agent init + PPO minibatch
+            // shuffling.
+            let master_seed = rand::RngCore::next_u64(rng);
+            let runner =
+                VecEnvRunner::new(envs, master_seed, par.workers).map_err(CtrlError::from)?;
+            let st = TrainState {
+                config_digest: digest,
+                n_envs: par.n_envs,
+                agent,
+                buffer,
+                master_rng: RngState::capture(rng),
+                episodes: Vec::new(),
+                updates_so_far: 0,
+                last_policy_loss: f64::NAN,
+                last_value_loss: f64::NAN,
+                last_entropy,
+                supervisor: SupervisorState::default(),
+                runner: None,
+            };
+            (st, runner)
+        }
+    };
 
+    let mut last_good: Option<Vec<u8>> = None;
+    if opts.supervisor.is_some() {
+        st.master_rng = RngState::capture(rng);
+        st.runner = Some(runner.export_state());
+        last_good = Some(snapshot::encode_payload(&st)?);
+    }
     let rounds_needed = config.episodes.div_ceil(par.n_envs);
-    let mut episodes = Vec::with_capacity(rounds_needed * par.n_envs);
+    let total_episodes = rounds_needed * par.n_envs;
     let mut rounds = Vec::with_capacity(rounds_needed);
-    let mut updates_so_far = 0usize;
-    let mut last_policy_loss = f64::NAN;
-    let mut last_value_loss = f64::NAN;
-    let mut last_entropy = agent.policy().entropy();
+    let mut episodes_since_ckpt = 0usize;
+    let stop_at = opts.stop_after_episodes.unwrap_or(usize::MAX);
 
-    for _ in 0..rounds_needed {
-        let summary = runner
-            .train_steps(
-                &mut agent,
-                &mut buffer,
-                config.env.episode_len,
-                config.reward_scale,
-                rng,
-            )
-            .map_err(CtrlError::from)?;
-        updates_so_far += summary.updates.len();
+    'training: while st.episodes.len() < total_episodes && st.episodes.len() < stop_at {
+        let episode = st.episodes.len();
+        let summary = match runner.train_steps(
+            &mut st.agent,
+            &mut st.buffer,
+            config.env.episode_len,
+            config.reward_scale,
+            rng,
+        ) {
+            Ok(summary) => summary,
+            Err(fl_rl::RlError::Diverged(msg)) => {
+                if opts.supervisor.is_none() {
+                    return Err(CtrlError::Rl(fl_rl::RlError::Diverged(msg)));
+                }
+                recover(
+                    &mut st,
+                    &last_good,
+                    opts,
+                    rng,
+                    Some(&mut runner),
+                    episode,
+                    DivergenceCause::NonFinite,
+                )?;
+                continue 'training;
+            }
+            Err(e) => return Err(CtrlError::Rl(e)),
+        };
+        st.updates_so_far += summary.updates.len();
         if let Some(stats) = summary.updates.last() {
-            last_policy_loss = stats.policy_loss;
-            last_value_loss = stats.value_loss;
-            last_entropy = stats.entropy;
+            st.last_policy_loss = stats.policy_loss;
+            st.last_value_loss = stats.value_loss;
+            st.last_entropy = stats.entropy;
         }
         for report in &summary.episodes {
-            episodes.push(EpisodeStats {
-                episode: episodes.len(),
+            st.episodes.push(EpisodeStats {
+                episode: st.episodes.len(),
                 mean_cost: report.mean_metric,
                 total_reward: report.total_reward,
-                policy_loss: last_policy_loss,
-                value_loss: last_value_loss,
-                entropy: last_entropy,
-                updates_so_far,
+                policy_loss: st.last_policy_loss,
+                value_loss: st.last_value_loss,
+                entropy: st.last_entropy,
+                updates_so_far: st.updates_so_far,
             });
         }
+        episodes_since_ckpt += summary.episodes.len();
         rounds.push(summary.workers);
+        if let Some(pol) = &opts.supervisor {
+            let costs: Vec<f64> = st.episodes.iter().map(|e| e.mean_cost).collect();
+            if reward_collapsed(&costs, pol.collapse_window, pol.collapse_factor) {
+                recover(
+                    &mut st,
+                    &last_good,
+                    opts,
+                    rng,
+                    Some(&mut runner),
+                    episode,
+                    DivergenceCause::RewardCollapse,
+                )?;
+                continue 'training;
+            }
+        }
+        let due = store.is_some()
+            && opts
+                .checkpoint
+                .as_ref()
+                .is_some_and(|ck| episodes_since_ckpt >= ck.every_episodes);
+        if due || opts.supervisor.is_some() {
+            st.master_rng = RngState::capture(rng);
+            st.runner = Some(runner.export_state());
+            let payload = snapshot::encode_payload(&st)?;
+            if due {
+                store.as_ref().expect("due implies store").save(&payload)?;
+                episodes_since_ckpt = 0;
+            }
+            if opts.supervisor.is_some() {
+                last_good = Some(payload);
+            }
+        }
     }
-    episodes.truncate(config.episodes);
 
-    let mut controller = DrlController::new(
-        agent.policy().clone(),
-        agent.obs_norm().clone(),
-        config.env.slot_h,
-        config.env.history_len,
-        config.env.min_freq_frac,
-    )?;
-    controller.participation_tail = config.env.faults_enabled();
     Ok(ParallelTrainOutput {
-        output: TrainOutput {
-            controller,
-            episodes,
-            agent,
-        },
+        output: finish_output(st, config)?,
         rounds,
     })
 }

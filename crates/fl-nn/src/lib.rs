@@ -61,7 +61,7 @@ pub use error::NnError;
 pub use init::Init;
 pub use matrix::Matrix;
 pub use mlp::Mlp;
-pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use optim::{Adam, OptimState, Optimizer, RmsProp, Sgd};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, NnError>;

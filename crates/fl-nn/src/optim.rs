@@ -4,8 +4,25 @@
 //! flat vectors whose layout matches [`Mlp::visit_params`] order, so one
 //! optimizer instance is bound to one network architecture.
 
-use crate::Mlp;
+use crate::{Mlp, NnError};
 use serde::{Deserialize, Serialize};
+
+/// A portable dump of an optimizer's mutable state, captured by
+/// [`Sgd::state`]/[`Adam::state`] and re-applied with the matching
+/// `restore`. Checkpoint/resume must carry these moments: restarting Adam
+/// with zeroed moments silently changes the next update step even when the
+/// network parameters are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimState {
+    /// Current learning rate (schedules mutate it).
+    pub lr: f64,
+    /// Update steps applied so far (drives Adam's bias correction).
+    pub steps: u64,
+    /// First-moment buffer (SGD velocity / Adam `m`), parameter-ordered.
+    pub first_moment: Vec<f64>,
+    /// Second-moment buffer (Adam `v`; empty for SGD).
+    pub second_moment: Vec<f64>,
+}
 
 /// A gradient-descent style optimizer.
 ///
@@ -45,6 +62,31 @@ impl Sgd {
             momentum,
             velocity: vec![0.0; num_params],
         }
+    }
+
+    /// Captures the mutable state for checkpointing.
+    pub fn state(&self) -> OptimState {
+        OptimState {
+            lr: self.lr,
+            steps: 0,
+            first_moment: self.velocity.clone(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Restores state captured by [`Sgd::state`]. Fails if the buffer
+    /// length does not match this optimizer's parameter count.
+    pub fn restore(&mut self, state: &OptimState) -> Result<(), NnError> {
+        if state.first_moment.len() != self.velocity.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "optimizer state covers {} params, expected {}",
+                state.first_moment.len(),
+                self.velocity.len()
+            )));
+        }
+        self.lr = state.lr;
+        self.velocity = state.first_moment.clone();
+        Ok(())
     }
 }
 
@@ -106,6 +148,35 @@ impl Adam {
     /// Number of updates applied so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Captures the mutable state (step count and both moment buffers) for
+    /// checkpointing.
+    pub fn state(&self) -> OptimState {
+        OptimState {
+            lr: self.lr,
+            steps: self.t,
+            first_moment: self.m.clone(),
+            second_moment: self.v.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::state`]. Fails if the buffer
+    /// lengths do not match this optimizer's parameter count.
+    pub fn restore(&mut self, state: &OptimState) -> Result<(), NnError> {
+        if state.first_moment.len() != self.m.len() || state.second_moment.len() != self.v.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "optimizer state covers {}/{} params, expected {}",
+                state.first_moment.len(),
+                state.second_moment.len(),
+                self.m.len()
+            )));
+        }
+        self.lr = state.lr;
+        self.t = state.steps;
+        self.m = state.first_moment.clone();
+        self.v = state.second_moment.clone();
+        Ok(())
     }
 }
 
@@ -253,6 +324,53 @@ mod tests {
         assert_eq!(opt.learning_rate(), 0.001);
         opt.set_learning_rate(0.0001);
         assert_eq!(opt.learning_rate(), 0.0001);
+    }
+
+    #[test]
+    fn optimizer_state_roundtrip_is_exact() {
+        // Train a net, snapshot the optimizer, train a fresh optimizer from
+        // the restored state alongside the original: both must take
+        // bit-identical steps.
+        let mut net = fresh_net(6);
+        let mut opt = Adam::new(net.num_params(), 0.01);
+        train_linear(&mut opt, &mut net, 50);
+
+        let state = opt.state();
+        assert_eq!(state.steps, 50);
+        let mut twin = Adam::new(net.num_params(), 0.9); // wrong lr on purpose
+        twin.restore(&state).unwrap();
+        assert_eq!(twin.learning_rate(), opt.learning_rate());
+
+        let mut net2 = net.clone();
+        let x = Matrix::from_vec(4, 1, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let y = x.map(|v| 2.0 * v - 1.0);
+        for _ in 0..10 {
+            for (n, o) in [(&mut net, &mut opt), (&mut net2, &mut twin)] {
+                let pred = n.forward(&x);
+                let (_, dl) = loss::mse(&pred, &y).unwrap();
+                n.zero_grad();
+                n.backward(&dl).unwrap();
+                o.step(n);
+            }
+        }
+        assert_eq!(net.export_params(), net2.export_params());
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_and_length_checks() {
+        let mut net = fresh_net(7);
+        let mut opt = Sgd::with_momentum(net.num_params(), 0.01, 0.9);
+        train_linear(&mut opt, &mut net, 20);
+        let state = opt.state();
+        let mut twin = Sgd::with_momentum(net.num_params(), 0.5, 0.9);
+        twin.restore(&state).unwrap();
+        assert_eq!(twin.learning_rate(), 0.01);
+
+        // Wrong-arity states are rejected, not silently truncated.
+        let mut small = Sgd::new(3, 0.01);
+        assert!(small.restore(&state).is_err());
+        let mut small_adam = Adam::new(3, 0.01);
+        assert!(small_adam.restore(&Adam::new(5, 0.01).state()).is_err());
     }
 
     #[test]

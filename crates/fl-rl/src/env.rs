@@ -2,6 +2,7 @@
 
 use crate::Result;
 use rand_chacha::ChaCha8Rng;
+use serde::Value;
 
 /// One environment transition.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +44,26 @@ pub trait Environment {
     }
 }
 
+/// An environment whose mid-episode state can be captured and restored
+/// exactly — the requirement for checkpointing a vectorized rollout, where
+/// environments are always frozen mid-episode at a round boundary.
+///
+/// The state travels as a [`serde::Value`] tree so the trait stays
+/// object-safe-ish and generic snapshot plumbing (`fl_rl::snapshot`) never
+/// needs to know concrete environment types. The contract mirrors the rest
+/// of the resume story: `import_env_state(export_env_state())` must leave
+/// the environment bit-identical — same observations, same rewards, same
+/// trajectory — for any sequence of subsequent steps.
+pub trait SnapshotEnv: Environment {
+    /// Captures the complete mutable environment state.
+    fn export_env_state(&self) -> Value;
+
+    /// Restores state captured by [`SnapshotEnv::export_env_state`].
+    /// Implementations must validate shape (e.g. device counts) and return
+    /// an error rather than panic on foreign values.
+    fn import_env_state(&mut self, state: &Value) -> Result<()>;
+}
+
 #[cfg(test)]
 pub(crate) mod testenv {
     //! A tiny analytically solvable environment shared by the crate tests:
@@ -64,6 +85,31 @@ pub(crate) mod testenv {
                 steps_left: horizon,
                 horizon,
             }
+        }
+    }
+
+    impl SnapshotEnv for QuadEnv {
+        fn export_env_state(&self) -> Value {
+            use serde::Serialize;
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert("state".to_string(), self.state.to_value());
+            obj.insert("steps_left".to_string(), self.steps_left.to_value());
+            obj.insert("horizon".to_string(), self.horizon.to_value());
+            Value::Object(obj)
+        }
+
+        fn import_env_state(&mut self, state: &Value) -> Result<()> {
+            use serde::Deserialize;
+            let field = |k: &str| {
+                state.get(k).ok_or_else(|| {
+                    crate::RlError::InvalidArgument(format!("QuadEnv state missing {k}"))
+                })
+            };
+            let bad = |e: serde::DeError| crate::RlError::InvalidArgument(e.to_string());
+            self.state = f64::from_value(field("state")?).map_err(bad)?;
+            self.steps_left = u32::from_value(field("steps_left")?).map_err(bad)?;
+            self.horizon = u32::from_value(field("horizon")?).map_err(bad)?;
+            Ok(())
         }
     }
 

@@ -40,10 +40,11 @@ mod policy;
 pub mod pool;
 mod ppo;
 pub mod runner;
+pub mod snapshot;
 mod value;
 
 pub use buffer::{RolloutBuffer, Transition};
-pub use env::{Environment, Step};
+pub use env::{Environment, SnapshotEnv, Step};
 pub use error::RlError;
 pub use normalize::RunningNorm;
 pub use policy::{GaussianPolicy, MeanArch};

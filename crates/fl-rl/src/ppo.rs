@@ -222,6 +222,17 @@ pub struct PpoAgent {
     log_std_opt: AdamVec,
     obs_norm: RunningNorm,
     training: bool,
+    /// Completed [`PpoAgent::update`] calls — the supervisor's poison hook
+    /// and intervention log key on it.
+    updates_done: u64,
+    /// Test-only fault injection: when `Some(k)`, the `k`-th update (0-based
+    /// by [`PpoAgent::updates_done`]) corrupts one actor parameter to NaN
+    /// right before the post-update finiteness check, producing the exact
+    /// divergence signature a real numeric blow-up would. Deliberately
+    /// `#[serde(skip)]`: a rollback that restores a serialized snapshot
+    /// clears the poison, so the fault fires exactly once.
+    #[serde(skip)]
+    test_poison: Option<u64>,
 }
 
 impl PpoAgent {
@@ -270,6 +281,8 @@ impl PpoAgent {
             log_std_opt,
             obs_norm,
             training: true,
+            updates_done: 0,
+            test_poison: None,
         })
     }
 
@@ -293,6 +306,40 @@ impl PpoAgent {
     /// statistics freeze.
     pub fn set_training(&mut self, training: bool) {
         self.training = training;
+    }
+
+    /// Number of completed [`PpoAgent::update`] calls over this agent's
+    /// lifetime (survives checkpoint/resume).
+    pub fn updates_done(&self) -> u64 {
+        self.updates_done
+    }
+
+    /// Current `(actor, critic)` learning rates — diagnostics for LR
+    /// schedules and the supervisor's backoff policy.
+    pub fn learning_rates(&self) -> (f64, f64) {
+        (
+            self.actor_opt.learning_rate(),
+            self.critic_opt.learning_rate(),
+        )
+    }
+
+    /// Multiplies every learning rate (actor, critic, log-std) by `factor`
+    /// — the supervisor's deterministic divergence backoff.
+    pub fn scale_learning_rates(&mut self, factor: f64) {
+        let lr = self.actor_opt.learning_rate() * factor;
+        self.actor_opt.set_learning_rate(lr);
+        let lr = self.critic_opt.learning_rate() * factor;
+        self.critic_opt.set_learning_rate(lr);
+        self.log_std_opt.lr *= factor;
+    }
+
+    /// Arms the test-only NaN fault: the update whose 0-based index (per
+    /// [`PpoAgent::updates_done`]) equals `update_index` will corrupt one
+    /// actor parameter and fail with [`RlError::Diverged`], exactly like a
+    /// real numeric blow-up. The flag is not serialized, so restoring a
+    /// checkpoint disarms it.
+    pub fn poison_update_for_test(&mut self, update_index: u64) {
+        self.test_poison = Some(update_index);
     }
 
     /// Serializes the complete agent state (networks, optimizer moments,
@@ -557,11 +604,24 @@ impl PpoAgent {
 
         // Algorithm 1 line 22: θ_a^old ← θ_a.
         self.policy_old.copy_params_from(&self.policy)?;
+        if self.test_poison == Some(self.updates_done) {
+            // Armed fault: corrupt one actor weight so the finiteness check
+            // below fires with a genuine NaN in the parameters.
+            self.test_poison = None;
+            let mut first = true;
+            self.policy.mean_net_mut().visit_params(|p, _| {
+                if first {
+                    *p = f64::NAN;
+                    first = false;
+                }
+            });
+        }
         if !self.policy.is_finite() || !self.value.is_finite() {
             return Err(RlError::Diverged(
                 "non-finite parameters after update".to_string(),
             ));
         }
+        self.updates_done += 1;
 
         let mbf = minibatches.max(1) as f64;
         Ok(UpdateStats {
@@ -817,6 +877,38 @@ mod tests {
         assert!((s1.policy_loss - s2.policy_loss).abs() < 1e-12);
         assert!((s1.value_loss - s2.value_loss).abs() < 1e-12);
         assert!(PpoAgent::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn poison_hook_fires_once_and_restore_disarms_it() {
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let mut agent = PpoAgent::new(1, 1, small_config(), &mut rng).unwrap();
+        let buffer = filled_buffer(&mut agent, &mut rng);
+        let snapshot = agent.to_json().unwrap();
+
+        agent.poison_update_for_test(agent.updates_done());
+        let err = agent.update(&buffer, 0.0, &mut rng).unwrap_err();
+        assert!(matches!(err, RlError::Diverged(_)), "got {err:?}");
+        assert_eq!(agent.updates_done(), 0, "failed update must not count");
+
+        // Restoring the pre-poison snapshot clears the (skip-serialized)
+        // poison flag: the same update now succeeds.
+        let mut restored = PpoAgent::from_json(&snapshot).unwrap();
+        restored.update(&buffer, 0.0, &mut rng).unwrap();
+        assert_eq!(restored.updates_done(), 1);
+    }
+
+    #[test]
+    fn scale_learning_rates_hits_all_three_optimizers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let mut agent = PpoAgent::new(1, 1, small_config(), &mut rng).unwrap();
+        let (a0, c0) = agent.learning_rates();
+        let ls0 = agent.log_std_opt.lr;
+        agent.scale_learning_rates(0.5);
+        let (a1, c1) = agent.learning_rates();
+        assert!((a1 - a0 * 0.5).abs() < 1e-15);
+        assert!((c1 - c0 * 0.5).abs() < 1e-15);
+        assert!((agent.log_std_opt.lr - ls0 * 0.5).abs() < 1e-15);
     }
 
     #[test]

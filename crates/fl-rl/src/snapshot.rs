@@ -1,0 +1,635 @@
+//! Crash-safe training-state persistence.
+//!
+//! Checkpoints are the foundation of the resume-determinism contract: a
+//! training run interrupted anywhere and resumed from its last checkpoint
+//! must be **bit-identical** to the uninterrupted run. That only works if a
+//! checkpoint captures the *complete* mutable state (network parameters,
+//! optimizer moments, normalizer statistics, buffer contents, and — crucially
+//! — every RNG's exact position) and if a crash mid-write can never destroy
+//! the previous good checkpoint.
+//!
+//! This module supplies the storage half of that contract:
+//!
+//! * a versioned, CRC-checksummed binary envelope ([`encode_frame`] /
+//!   [`decode_frame`]) around a JSON payload (the vendored `serde_json`
+//!   prints finite `f64`s shortest-round-trip, so payloads are bit-exact),
+//! * [`atomic_write`] — tmp file + fsync + rename, so a torn write leaves
+//!   the old file untouched,
+//! * [`CheckpointStore`] — a double-buffered `ckpt-A`/`ckpt-B` pair with a
+//!   monotonic sequence number; writes alternate slots, loads pick the
+//!   newest *valid* slot, so one corrupt/torn file still resumes,
+//! * [`RngState`] — an exact [`ChaCha8Rng`] dump (key, stream, word
+//!   position). 64-bit values are stored as `(lo, hi)` `u32` pairs because
+//!   the vendored serde routes all numbers through `f64`, which is lossy
+//!   above 2⁵³ — and seeds use all 64 bits.
+//!
+//! What goes *into* a training checkpoint is the caller's business
+//! (`fl-ctrl` assembles its `TrainState` from the agent, buffer, and
+//! environment states); this module only promises that what was saved is
+//! what comes back, or a structured [`SnapshotError`] — never a panic, and
+//! never a silently corrupted resume.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a fedfreq snapshot and its envelope revision.
+pub const MAGIC: [u8; 8] = *b"FLSNAP01";
+
+/// Current payload-format version. Bump when the checkpoint payload layout
+/// changes incompatibly; old files then fail with
+/// [`SnapshotError::BadVersion`] instead of deserializing garbage.
+pub const VERSION: u32 = 1;
+
+/// Envelope header size: magic (8) + version (4) + seq (8) + payload length
+/// (8) + CRC32 (4).
+pub const HEADER_LEN: usize = 32;
+
+/// Structured failure modes of snapshot encode/decode/IO.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The stored CRC32 does not match the file contents.
+    BadChecksum,
+    /// The file is shorter than its header claims (torn write).
+    Truncated,
+    /// The payload-format version is not the one this build reads.
+    BadVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// Filesystem failure (open/write/rename/fsync).
+    Io(String),
+    /// Payload (de)serialization failure.
+    Encode(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch (corrupt file)"),
+            SnapshotError::Truncated => write!(f, "snapshot file truncated"),
+            SnapshotError::BadVersion { found, expected } => {
+                write!(f, "snapshot version {found}, this build reads {expected}")
+            }
+            SnapshotError::Io(msg) => write!(f, "snapshot io error: {msg}"),
+            SnapshotError::Encode(msg) => write!(f, "snapshot encode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Convenience alias for snapshot results.
+pub type SnapResult<T> = std::result::Result<T, SnapshotError>;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip and PNG use. Implemented bitwise: checkpoint payloads are
+/// small enough that a lookup table would be noise.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Splits a `u64` into `(lo, hi)` `u32` halves that survive the vendored
+/// serde's number model (all JSON numbers are `f64`, exact only below 2⁵³).
+pub fn split_u64(x: u64) -> (u32, u32) {
+    (x as u32, (x >> 32) as u32)
+}
+
+/// Reassembles a `u64` split by [`split_u64`].
+pub fn join_u64(lo: u32, hi: u32) -> u64 {
+    (lo as u64) | ((hi as u64) << 32)
+}
+
+/// Wraps a payload in the versioned, checksummed envelope. `seq` is the
+/// caller's monotonic checkpoint counter (slot election in
+/// [`CheckpointStore`] keys on it).
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    encode_frame_versioned(VERSION, seq, payload)
+}
+
+/// [`encode_frame`] with an explicit version — exposed so tests (and future
+/// migration tooling) can fabricate frames of other versions.
+pub fn encode_frame_versioned(version: u32, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    // The CRC covers everything after the magic except itself, so a flipped
+    // bit in the version/seq/length fields is caught too, not just payload
+    // damage.
+    let mut crc_input = Vec::with_capacity(20 + payload.len());
+    crc_input.extend_from_slice(&out[8..28]);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an envelope and returns `(seq, payload)`. Every corruption
+/// mode maps to a structured error: wrong magic → [`SnapshotError::BadMagic`],
+/// short file → [`SnapshotError::Truncated`], bit damage →
+/// [`SnapshotError::BadChecksum`], format skew → [`SnapshotError::BadVersion`].
+pub fn decode_frame(bytes: &[u8]) -> SnapResult<(u64, &[u8])> {
+    if bytes.len() < HEADER_LEN {
+        return if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            Err(SnapshotError::BadMagic)
+        } else {
+            Err(SnapshotError::Truncated)
+        };
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes")) as usize;
+    let stored_crc = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes"));
+    let Some(payload) = bytes[HEADER_LEN..].get(..payload_len) else {
+        return Err(SnapshotError::Truncated);
+    };
+    let mut crc_input = Vec::with_capacity(20 + payload.len());
+    crc_input.extend_from_slice(&bytes[8..28]);
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != stored_crc {
+        return Err(SnapshotError::BadChecksum);
+    }
+    // Version is checked *after* the checksum so random damage in the
+    // version field reports as corruption, not as a phantom format skew.
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    Ok((seq, payload))
+}
+
+/// Serializes a value to the JSON payload bytes the envelope carries.
+pub fn encode_payload<T: Serialize>(value: &T) -> SnapResult<Vec<u8>> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| SnapshotError::Encode(e.to_string()))
+}
+
+/// Deserializes a value from payload bytes written by [`encode_payload`].
+pub fn decode_payload<T: Deserialize>(bytes: &[u8]) -> SnapResult<T> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| SnapshotError::Encode(format!("not utf-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| SnapshotError::Encode(e.to_string()))
+}
+
+/// Writes `bytes` to `path` atomically: a sibling tmp file is written and
+/// fsynced, then renamed over the destination (rename within one directory
+/// is atomic on POSIX). A crash at any point leaves either the old file or
+/// the new one — never a torn mix. The containing directory is fsynced
+/// best-effort so the rename itself is durable.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> SnapResult<()> {
+    let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| SnapshotError::Io(format!("{}: no file name", path.display())))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync makes the rename durable; best-effort because
+        // some filesystems refuse to open directories.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Exact serialized state of a [`ChaCha8Rng`]: key, stream selector, and
+/// word position. All three survive the f64-only JSON number model (the key
+/// as 8 `u32` words, the 64-bit stream/position as `(lo, hi)` pairs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RngState {
+    /// The 256-bit key as 8 little-endian words.
+    pub key: Vec<u32>,
+    /// Stream selector, low half.
+    pub stream_lo: u32,
+    /// Stream selector, high half.
+    pub stream_hi: u32,
+    /// Word position, low half.
+    pub pos_lo: u32,
+    /// Word position, high half.
+    pub pos_hi: u32,
+}
+
+impl RngState {
+    /// Captures the generator's complete state.
+    pub fn capture(rng: &ChaCha8Rng) -> Self {
+        let seed = rng.get_seed();
+        let key = (0..8)
+            .map(|i| u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4-byte chunk")))
+            .collect();
+        let (stream_lo, stream_hi) = split_u64(rng.get_stream());
+        let (pos_lo, pos_hi) = split_u64(rng.get_word_pos());
+        RngState {
+            key,
+            stream_lo,
+            stream_hi,
+            pos_lo,
+            pos_hi,
+        }
+    }
+
+    /// Rebuilds a generator that continues exactly where the captured one
+    /// stood.
+    pub fn restore(&self) -> SnapResult<ChaCha8Rng> {
+        if self.key.len() != 8 {
+            return Err(SnapshotError::Encode(format!(
+                "rng key has {} words, expected 8",
+                self.key.len()
+            )));
+        }
+        let mut seed = [0u8; 32];
+        for (i, k) in self.key.iter().enumerate() {
+            seed[4 * i..4 * i + 4].copy_from_slice(&k.to_le_bytes());
+        }
+        let mut rng = ChaCha8Rng::from_seed(seed);
+        // Order matters: set_stream rewinds the position.
+        rng.set_stream(join_u64(self.stream_lo, self.stream_hi));
+        rng.set_word_pos(join_u64(self.pos_lo, self.pos_hi));
+        Ok(rng)
+    }
+}
+
+/// A double-buffered checkpoint directory: writes alternate between
+/// `ckpt-A` and `ckpt-B`, each carrying a monotonic sequence number, so the
+/// previous checkpoint is never touched while the next one is being
+/// written. Combined with [`atomic_write`], *any* crash leaves at least one
+/// loadable checkpoint once the first save completed.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+/// One slot's validated contents.
+struct SlotRead {
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> SnapResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", dir.display())))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The two slot paths, `[ckpt-A, ckpt-B]`.
+    pub fn slot_paths(&self) -> [PathBuf; 2] {
+        [self.dir.join("ckpt-A"), self.dir.join("ckpt-B")]
+    }
+
+    /// Reads and validates one slot. `Ok(None)` when the file does not
+    /// exist; structured error when it exists but cannot be decoded.
+    fn read_slot(&self, path: &Path) -> SnapResult<Option<SlotRead>> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(SnapshotError::Io(format!("{}: {e}", path.display()))),
+        };
+        let (seq, payload) = decode_frame(&bytes)?;
+        Ok(Some(SlotRead {
+            seq,
+            payload: payload.to_vec(),
+        }))
+    }
+
+    /// Validates both slots. Returns `(valid slots ordered best-first,
+    /// first error seen, whether any slot file exists)`.
+    #[allow(clippy::type_complexity)]
+    fn scan(&self) -> (Vec<(usize, SlotRead)>, Option<SnapshotError>, bool) {
+        let mut valid = Vec::new();
+        let mut first_err = None;
+        let mut any_present = false;
+        for (i, path) in self.slot_paths().iter().enumerate() {
+            match self.read_slot(path) {
+                Ok(Some(read)) => {
+                    any_present = true;
+                    valid.push((i, read));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    any_present = true;
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        valid.sort_by_key(|slot| std::cmp::Reverse(slot.1.seq));
+        (valid, first_err, any_present)
+    }
+
+    /// Writes a new checkpoint. The payload goes to the slot **not**
+    /// holding the newest valid checkpoint, with sequence number
+    /// `newest + 1`; the previous good checkpoint survives any crash during
+    /// this call. Returns the new sequence number.
+    pub fn save(&self, payload: &[u8]) -> SnapResult<u64> {
+        let (valid, _, _) = self.scan();
+        let (target_slot, seq) = match valid.first() {
+            Some((slot, read)) => (1 - *slot, read.seq + 1),
+            None => (0, 1),
+        };
+        let frame = encode_frame(seq, payload);
+        atomic_write(&self.slot_paths()[target_slot], &frame)?;
+        Ok(seq)
+    }
+
+    /// Loads the newest valid checkpoint.
+    ///
+    /// * `Ok(Some((seq, payload)))` — at least one slot decoded; the newest
+    ///   wins. A corrupt sibling is ignored (that is the point of the
+    ///   double buffer).
+    /// * `Ok(None)` — no slot file exists (fresh start).
+    /// * `Err(_)` — slot files exist but none decodes: resuming silently
+    ///   from nothing would discard work, so the caller must decide.
+    pub fn load_latest(&self) -> SnapResult<Option<(u64, Vec<u8>)>> {
+        let (mut valid, first_err, any_present) = self.scan();
+        if let Some((_, read)) = valid.first_mut() {
+            return Ok(Some((read.seq, std::mem::take(&mut read.payload))));
+        }
+        match (any_present, first_err) {
+            (true, Some(e)) => Err(e),
+            (true, None) => Err(SnapshotError::Truncated),
+            (false, _) => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::RngCore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("fedfreq-snap-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        // The canonical CRC-32/IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"{\"hello\": 1}";
+        let frame = encode_frame(42, payload);
+        let (seq, got) = decode_frame(&frame).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn corruption_in_every_region_is_detected() {
+        let frame = encode_frame(7, b"payload bytes here");
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            let err = decode_frame(&bad).expect_err("corruption must not decode");
+            match i {
+                0..=7 => assert_eq!(err, SnapshotError::BadMagic, "byte {i}"),
+                // Damage to the length field may claim more payload than the
+                // file holds, which reports as truncation — still structured.
+                20..=27 => assert!(
+                    matches!(err, SnapshotError::BadChecksum | SnapshotError::Truncated),
+                    "byte {i}: got {err:?}"
+                ),
+                _ => assert_eq!(err, SnapshotError::BadChecksum, "byte {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let frame = encode_frame(3, b"0123456789abcdef");
+        for len in 0..frame.len() {
+            let err = decode_frame(&frame[..len]).expect_err("truncation must not decode");
+            assert!(
+                matches!(err, SnapshotError::Truncated),
+                "len {len}: got {err:?}"
+            );
+        }
+        assert!(decode_frame(&frame).is_ok());
+    }
+
+    #[test]
+    fn version_mismatch_is_structured() {
+        let frame = encode_frame_versioned(VERSION + 1, 1, b"future payload");
+        assert_eq!(
+            decode_frame(&frame),
+            Err(SnapshotError::BadVersion {
+                found: VERSION + 1,
+                expected: VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = temp_dir("aw");
+        let path = dir.join("file.bin");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let extras: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "file.bin")
+            .collect();
+        assert!(extras.is_empty(), "leftover files: {extras:?}");
+    }
+
+    #[test]
+    fn rng_state_roundtrip_is_exact_even_past_2_53() {
+        // Key, stream, and position all exercise the full 64-bit range —
+        // precisely what naive f64 JSON numbers would corrupt.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xDEAD_BEEF_CAFE_F00D);
+        rng.set_stream(u64::MAX - 3);
+        for _ in 0..37 {
+            rng.next_u32();
+        }
+        let state = RngState::capture(&rng);
+        let json = encode_payload(&state).unwrap();
+        let back: RngState = decode_payload(&json).unwrap();
+        assert_eq!(back, state);
+        let mut restored = back.restore().unwrap();
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+        // Bad key length is an error, not a panic.
+        let bad = RngState {
+            key: vec![1, 2, 3],
+            ..state
+        };
+        assert!(bad.restore().is_err());
+    }
+
+    #[test]
+    fn store_alternates_slots_and_loads_newest() {
+        let dir = temp_dir("ab");
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert_eq!(store.load_latest().unwrap(), None);
+
+        assert_eq!(store.save(b"one").unwrap(), 1);
+        assert_eq!(store.load_latest().unwrap(), Some((1, b"one".to_vec())));
+        assert_eq!(store.save(b"two").unwrap(), 2);
+        assert_eq!(store.load_latest().unwrap(), Some((2, b"two".to_vec())));
+        assert_eq!(store.save(b"three").unwrap(), 3);
+        assert_eq!(store.load_latest().unwrap(), Some((3, b"three".to_vec())));
+
+        // Both slot files exist after two saves.
+        let [a, b] = store.slot_paths();
+        assert!(a.exists() && b.exists());
+    }
+
+    #[test]
+    fn corrupting_one_slot_falls_back_to_survivor() {
+        let dir = temp_dir("surv");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.save(b"old good").unwrap(); // seq 1 → slot A
+        store.save(b"new good").unwrap(); // seq 2 → slot B
+        let [a, b] = store.slot_paths();
+
+        // Corrupt the *newest* slot (a payload byte): load falls back to
+        // the older one.
+        let mut bytes = std::fs::read(&b).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&b, &bytes).unwrap();
+        assert_eq!(
+            store.load_latest().unwrap(),
+            Some((1, b"old good".to_vec()))
+        );
+        // And the next save overwrites the corrupt slot, not the survivor.
+        assert_eq!(store.save(b"recovered").unwrap(), 2);
+        assert_eq!(
+            store.load_latest().unwrap(),
+            Some((2, b"recovered".to_vec()))
+        );
+
+        // Corrupt both: structured error, never a panic, never Ok(None).
+        for p in [&a, &b] {
+            let mut bytes = std::fs::read(p).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(p, &bytes).unwrap();
+        }
+        assert_eq!(store.load_latest(), Err(SnapshotError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_slot_is_tolerated_when_sibling_survives() {
+        let dir = temp_dir("trunc");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.save(b"good").unwrap();
+        store.save(b"newer").unwrap();
+        let [_, b] = store.slot_paths();
+        let bytes = std::fs::read(&b).unwrap();
+        std::fs::write(&b, &bytes[..bytes.len() / 3]).unwrap();
+        assert_eq!(store.load_latest().unwrap(), Some((1, b"good".to_vec())));
+    }
+
+    #[test]
+    fn split_join_u64_is_identity() {
+        for x in [
+            0,
+            1,
+            u64::MAX,
+            1 << 53,
+            (1 << 53) + 1,
+            0xDEAD_BEEF_0BAD_F00D,
+        ] {
+            let (lo, hi) = split_u64(x);
+            assert_eq!(join_u64(lo, hi), x);
+        }
+    }
+
+    proptest! {
+        /// Roundtrip identity for arbitrary payloads and sequence numbers.
+        #[test]
+        fn prop_frame_roundtrip(payload in proptest::collection::vec(0u8..=255, 0..512), seq in 0u64..u64::MAX) {
+            let frame = encode_frame(seq, &payload);
+            let (got_seq, got) = decode_frame(&frame).unwrap();
+            prop_assert_eq!(got_seq, seq);
+            prop_assert_eq!(got, &payload[..]);
+        }
+
+        /// Any single-byte corruption yields a structured error — never a
+        /// panic, never silent acceptance.
+        #[test]
+        fn prop_single_byte_corruption_never_decodes(
+            payload in proptest::collection::vec(0u8..=255, 1..256),
+            seq in 0u64..u64::MAX,
+            idx in 0usize..usize::MAX,
+            mask in 1u8..=255,
+        ) {
+            let mut frame = encode_frame(seq, &payload);
+            let i = idx % frame.len();
+            frame[i] ^= mask;
+            prop_assert!(decode_frame(&frame).is_err());
+        }
+
+        /// Arbitrary truncation yields a structured error.
+        #[test]
+        fn prop_truncation_never_decodes(
+            payload in proptest::collection::vec(0u8..=255, 1..256),
+            cut in 0usize..usize::MAX,
+        ) {
+            let frame = encode_frame(1, &payload);
+            let len = cut % frame.len(); // strictly shorter
+            prop_assert!(decode_frame(&frame[..len]).is_err());
+        }
+
+        /// RNG capture/restore is exact for arbitrary (seed, stream, draws).
+        #[test]
+        fn prop_rng_state_roundtrip(seed in 0u64..u64::MAX, stream in 0u64..u64::MAX, draws in 0usize..70) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            rng.set_stream(stream);
+            for _ in 0..draws {
+                rng.next_u32();
+            }
+            let mut restored = RngState::capture(&rng).restore().unwrap();
+            for _ in 0..20 {
+                prop_assert_eq!(rng.next_u64(), restored.next_u64());
+            }
+        }
+    }
+}

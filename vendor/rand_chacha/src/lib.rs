@@ -57,6 +57,44 @@ impl ChaCha8Rng {
         self.stream
     }
 
+    /// The 256-bit key as the seed bytes originally passed to
+    /// [`SeedableRng::from_seed`] (little-endian word encoding).
+    pub fn get_seed(&self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        for (i, k) in self.key.iter().enumerate() {
+            seed[4 * i..4 * i + 4].copy_from_slice(&k.to_le_bytes());
+        }
+        seed
+    }
+
+    /// Absolute position within the current stream, counted in 32-bit
+    /// output words. Combined with the key and stream it pins the
+    /// generator's full state, which is what exact checkpoint/resume
+    /// needs.
+    pub fn get_word_pos(&self) -> u64 {
+        if self.word >= 16 {
+            // Buffer exhausted (or never filled): next draw starts block
+            // `self.block`.
+            self.block.wrapping_mul(16)
+        } else {
+            // Mid-buffer: `block` was already incremented by `refill`.
+            self.block.wrapping_sub(1).wrapping_mul(16) + self.word as u64
+        }
+    }
+
+    /// Seeks to an absolute word position within the current stream, as
+    /// reported by [`ChaCha8Rng::get_word_pos`]. Restoring a checkpoint is
+    /// `set_stream` **then** `set_word_pos` (`set_stream` rewinds the
+    /// position).
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.block = pos / 16;
+        self.word = 16;
+        if pos % 16 != 0 {
+            self.refill();
+            self.word = (pos % 16) as usize;
+        }
+    }
+
     fn refill(&mut self) {
         let mut state: [u32; 16] = [
             // "expand 32-byte k"
@@ -182,6 +220,45 @@ mod tests {
         let n = 10_000;
         let mean = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn seed_roundtrips_through_get_seed() {
+        let seed = [7u8; 32];
+        let mut a = ChaCha8Rng::from_seed(seed);
+        assert_eq!(a.get_seed(), seed);
+        a.next_u64();
+        assert_eq!(a.get_seed(), seed, "drawing must not disturb the key");
+    }
+
+    #[test]
+    fn word_pos_roundtrip_restores_exact_state() {
+        // Every offset within a block plus block boundaries.
+        for draws in [0usize, 1, 7, 15, 16, 17, 33, 100] {
+            let mut a = ChaCha8Rng::seed_from_u64(99);
+            a.set_stream(5);
+            for _ in 0..draws {
+                a.next_u32();
+            }
+            let pos = a.get_word_pos();
+            assert_eq!(pos, draws as u64);
+
+            let mut b = ChaCha8Rng::from_seed(a.get_seed());
+            b.set_stream(a.get_stream());
+            b.set_word_pos(pos);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64(), "after {draws} draws");
+            }
+        }
+    }
+
+    #[test]
+    fn set_stream_resets_word_pos() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        a.next_u32();
+        assert_eq!(a.get_word_pos(), 1);
+        a.set_stream(2);
+        assert_eq!(a.get_word_pos(), 0);
     }
 
     #[test]
