@@ -144,6 +144,121 @@ fn bench_transfer_time(c: &mut Criterion) {
     });
 }
 
+/// The fl-obs contract is "disabled mode costs nothing": every hot-path
+/// instrumentation point (counter inc, span guard, histogram observe,
+/// `is_enabled` gate before an emit) must sit within measurement noise of
+/// the uninstrumented loop. `env_step_n3` above is the integrated check —
+/// the environment carries a default disabled recorder — this group
+/// isolates each primitive. A manual ns/op estimate of the same
+/// primitives lands in `results/recorder_overhead.json` so regressions
+/// show up in the bench JSON diff, not just in criterion's HTML.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    // A dependency chain the optimizer cannot elide, shared by every
+    // variant so the instrumentation cost is the only difference.
+    #[inline(always)]
+    fn lcg(x: u64) -> u64 {
+        x.wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+    }
+
+    let off = fl_obs::Recorder::disabled();
+    let on = fl_obs::Recorder::in_memory();
+    let ctr_off = off.counter("hot");
+    let ctr_on = on.counter("hot");
+    let hist_off = off.histogram("hot_h", &[0.1, 1.0, 10.0]);
+
+    let mut group = c.benchmark_group("recorder_overhead");
+    group.bench_function("baseline_loop", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = lcg(x);
+            black_box(x)
+        })
+    });
+    group.bench_function("disabled_counter_inc", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = lcg(x);
+            ctr_off.inc();
+            black_box(x)
+        })
+    });
+    group.bench_function("disabled_histogram_observe", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = lcg(x);
+            hist_off.observe((x >> 32) as f64 * 1e-9);
+            black_box(x)
+        })
+    });
+    group.bench_function("disabled_span", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = lcg(x);
+            let _s = off.span("hot");
+            black_box(x)
+        })
+    });
+    group.bench_function("disabled_emit_gate", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = lcg(x);
+            if off.is_enabled() {
+                off.emit(fl_obs::Event::phys("never"));
+            }
+            black_box(x)
+        })
+    });
+    // Enabled counter for contrast: the price actually paid when `--obs`
+    // is on (one relaxed atomic add).
+    group.bench_function("enabled_counter_inc", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = lcg(x);
+            ctr_on.inc();
+            black_box(x)
+        })
+    });
+    group.finish();
+
+    // Coarse manual estimate (same primitives, 10M iterations) for the
+    // machine-readable dump; criterion keeps the rigorous statistics.
+    let ns_per_op = |f: &mut dyn FnMut()| {
+        const N: u64 = 10_000_000;
+        let t0 = std::time::Instant::now();
+        for _ in 0..N {
+            f();
+        }
+        t0.elapsed().as_nanos() as f64 / N as f64
+    };
+    let mut x = 1u64;
+    let baseline = ns_per_op(&mut || {
+        x = lcg(x);
+        black_box(x);
+    });
+    let counter = ns_per_op(&mut || {
+        x = lcg(x);
+        ctr_off.inc();
+        black_box(x);
+    });
+    let span = ns_per_op(&mut || {
+        x = lcg(x);
+        let _s = off.span("hot");
+        black_box(x);
+    });
+    fl_bench::dump_json(
+        "recorder_overhead.json",
+        &serde_json::json!({
+            "iters": 10_000_000u64,
+            "baseline_ns": baseline,
+            "disabled_counter_ns": counter,
+            "disabled_span_ns": span,
+            "counter_overhead_ns": counter - baseline,
+            "span_overhead_ns": span - baseline,
+        }),
+    );
+}
+
 criterion_group!(
     benches,
     bench_matmul,
@@ -153,5 +268,6 @@ criterion_group!(
     bench_freq_solver,
     bench_fedavg_round,
     bench_transfer_time,
+    bench_recorder_overhead,
 );
 criterion_main!(benches);

@@ -14,15 +14,17 @@
 //! for the same reason — CI diffs stdout between worker counts).
 //!
 //! Usage:
-//! `cargo run --release -p fl-bench --bin abl_faults [episodes] [iters] [--ckpt DIR] [--kill-after FRAC]`
+//! `cargo run --release -p fl-bench --bin abl_faults [episodes] [iters] [--ckpt DIR] [--kill-after FRAC] [--obs DIR]`
 //!
 //! `--ckpt DIR` bypasses the controller cache and trains with crash-safe
 //! checkpoints under `DIR`, resuming from any previous run there.
 //! `--kill-after FRAC` stops training cleanly after that fraction of the
 //! episode budget (stderr notice only, empty stdout) so CI can drill the
-//! kill-and-resume path.
+//! kill-and-resume path. `--obs DIR` records the fl-obs event stream
+//! (training events when `--ckpt` is active, sweep telemetry always) to
+//! `DIR/run.jsonl`.
 
-use fl_bench::{dump_json, workers_from_env, Scenario};
+use fl_bench::{dump_json_obs, obs_recorder, workers_from_env_obs, Scenario};
 use fl_ctrl::{
     compare_controllers_faulty, CheckpointOptions, FrequencyController, HeuristicController,
     RunOptions, StaticController,
@@ -50,6 +52,7 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut ckpt: Option<PathBuf> = None;
     let mut kill_after: Option<f64> = None;
+    let mut obs_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -66,6 +69,7 @@ fn main() {
                 assert!(frac > 0.0 && frac < 1.0, "--kill-after must be in (0, 1)");
                 kill_after = Some(frac);
             }
+            "--obs" => obs_dir = Some(PathBuf::from(args.next().expect("--obs needs a directory"))),
             _ => positional.push(a),
         }
     }
@@ -77,10 +81,12 @@ fn main() {
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
-    let workers = workers_from_env();
+    let rec = obs_recorder(obs_dir.as_deref(), "run.jsonl");
+    let workers = workers_from_env_obs(&rec);
 
     let scenario = Scenario::testbed();
-    let sys = scenario.build();
+    let mut sys = scenario.build();
+    sys.set_recorder(&rec);
 
     // The kill half of a crash drill must not print the header either —
     // its stdout stays empty so the resumed run diffs clean.
@@ -94,19 +100,24 @@ fn main() {
                 resume: true,
             }),
             stop_after_episodes: kill_after.map(|f| ((episodes as f64 * f) as usize).max(1)),
+            obs: rec.clone(),
             ..RunOptions::default()
         };
         let out = scenario
             .train_with(&sys, episodes, &opts)
             .expect("checkpointed training");
         if out.episodes.len() < episodes {
-            eprintln!(
+            // Recorder::note mirrors to stderr, keeping stdout empty.
+            rec.note(&format!(
                 "abl_faults: training killed after {} of {episodes} episodes; \
                  checkpoint saved in {} — re-run with the same --ckpt \
                  (without --kill-after) to resume",
                 out.episodes.len(),
                 dir.display()
-            );
+            ));
+            if let Err(e) = rec.finish() {
+                eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+            }
             return;
         }
         (out.controller, false)
@@ -120,7 +131,7 @@ fn main() {
         sys.config().lambda
     );
     // Stderr: the cache hits on the second run of a worker-count diff.
-    eprintln!("DRL controller ready (cache hit: {cached})");
+    rec.note(&format!("DRL controller ready (cache hit: {cached})"));
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0xFA17);
     let stat = StaticController::new(&sys, 1000, 0.1, &mut rng).expect("static");
 
@@ -203,7 +214,11 @@ fn main() {
     }
 
     println!("timing: {}", report.timing_line());
-    dump_json(
+    if rec.is_enabled() {
+        rec.emit(report.obs_event("fault_sweep"));
+    }
+    dump_json_obs(
+        &rec,
         "abl_faults.json",
         &serde_json::json!({
             "episodes": episodes,
@@ -212,6 +227,9 @@ fn main() {
             "grid": results,
         }),
     );
+    if let Err(e) = rec.finish() {
+        eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+    }
 }
 
 fn tally_json(t: &OutcomeTally) -> serde_json::Value {

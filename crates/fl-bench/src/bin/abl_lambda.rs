@@ -9,9 +9,12 @@
 //! The λ points are independent, so they run across the work-stealing pool
 //! (`FL_WORKERS` caps the threads; output is identical for any value).
 //!
-//! Usage: `cargo run --release -p fl-bench --bin abl_lambda [iters]`
+//! Usage: `cargo run --release -p fl-bench --bin abl_lambda [iters] [--obs DIR]`
+//!
+//! `--obs DIR` records sweep-level fl-obs telemetry (pool rounds, notes)
+//! to `DIR/run.jsonl`.
 
-use fl_bench::{dump_json, workers_from_env, Scenario};
+use fl_bench::{dump_json_obs, obs_recorder, workers_from_env_obs, Scenario};
 use fl_ctrl::{
     compare_controllers, run_parallel_sweep, FrequencyController, HeuristicController,
     MaxFreqController, OracleController, StaticController,
@@ -20,12 +23,28 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let iterations: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let mut positional: Vec<String> = Vec::new();
+    let mut obs_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--obs" => {
+                obs_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--obs needs a directory"),
+                ))
+            }
+            _ => positional.push(a),
+        }
+    }
+    let iterations: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let lambdas = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
 
     let scenario = Scenario::testbed();
-    let workers = workers_from_env();
+    let run_rec = obs_recorder(obs_dir.as_deref(), "run.jsonl");
+    let workers = workers_from_env_obs(&run_rec);
     let (rows, report) = run_parallel_sweep(workers, lambdas.to_vec(), |_, lambda| {
         let mut sc = scenario.clone();
         sc.fl.lambda = lambda;
@@ -76,5 +95,15 @@ fn main() {
     println!("\nexpected shape: oracle energy decreases monotonically in lambda;");
     println!("                oracle time weakly increases; maxfreq time constant.");
     println!("timing: {}", report.timing_line());
-    dump_json("abl_lambda.json", &serde_json::json!({"sweep": results}));
+    if run_rec.is_enabled() {
+        run_rec.emit(report.obs_event("lambda_sweep"));
+    }
+    dump_json_obs(
+        &run_rec,
+        "abl_lambda.json",
+        &serde_json::json!({"sweep": results}),
+    );
+    if let Err(e) = run_rec.finish() {
+        eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+    }
 }

@@ -12,7 +12,7 @@
 //! identical for any value — only the reported timing changes).
 //!
 //! Usage:
-//! `cargo run --release -p fl-bench --bin abl_seeds [n_seeds] [episodes] [--ckpt DIR] [--kill-after FRAC]`
+//! `cargo run --release -p fl-bench --bin abl_seeds [n_seeds] [episodes] [--ckpt DIR] [--kill-after FRAC] [--obs DIR]`
 //!
 //! `--ckpt DIR` checkpoints each seed's training under `DIR/seed-<s>/` and
 //! resumes from there on the next run. `--kill-after FRAC` stops every
@@ -20,8 +20,13 @@
 //! crash-and-resume drill): nothing is printed to stdout, so a killed run
 //! followed by a `--ckpt` resume must produce stdout bit-identical to a
 //! never-interrupted run.
+//!
+//! `--obs DIR` records the fl-obs event stream: each seed's training
+//! events land in `DIR/seed-<s>.jsonl` (one file per seed, so the
+//! `FL_WORKERS` fan-out never interleaves a file), sweep-level telemetry
+//! in `DIR/run.jsonl`. Inspect with `obs_report DIR/seed-0.jsonl`.
 
-use fl_bench::{dump_json, workers_from_env, Scenario};
+use fl_bench::{dump_json_obs, obs_recorder, workers_from_env_obs, Scenario};
 use fl_ctrl::{
     compare_controllers, run_parallel_sweep, CheckpointOptions, FrequencyController,
     HeuristicController, MaxFreqController, RunOptions, StaticController,
@@ -35,6 +40,7 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut ckpt: Option<PathBuf> = None;
     let mut kill_after: Option<f64> = None;
+    let mut obs_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -43,6 +49,7 @@ fn main() {
                     args.next().expect("--ckpt needs a directory"),
                 ))
             }
+            "--obs" => obs_dir = Some(PathBuf::from(args.next().expect("--obs needs a directory"))),
             "--kill-after" => {
                 let frac: f64 = args
                     .next()
@@ -60,16 +67,21 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(800);
     let iterations = 300;
-    let workers = workers_from_env();
+    let run_rec = obs_recorder(obs_dir.as_deref(), "run.jsonl");
+    let workers = workers_from_env_obs(&run_rec);
 
     // One task per seed: build world, train, evaluate. Each task derives
     // every RNG from its own seed, so the sweep is order- and
-    // thread-count-invariant.
+    // thread-count-invariant. Each task also records to its own JSONL file
+    // (`seed-<s>.jsonl`), so the fan-out never interleaves one sink and
+    // the per-seed event streams are worker-count-invariant byte for byte.
     let (per_seed, report) = run_parallel_sweep(workers, (0..n_seeds).collect(), |_, s| {
         let mut scenario = Scenario::testbed();
         scenario.seed = scenario.seed.wrapping_add(1000 * s as u64);
         scenario.name = format!("seeds-{s}");
-        let sys = scenario.build();
+        let rec = obs_recorder(obs_dir.as_deref(), &format!("seed-{s}.jsonl"));
+        let mut sys = scenario.build();
+        sys.set_recorder(&rec);
         let opts = RunOptions {
             checkpoint: ckpt.as_ref().map(|dir| CheckpointOptions {
                 dir: dir.join(format!("seed-{s}")),
@@ -77,12 +89,16 @@ fn main() {
                 resume: true,
             }),
             stop_after_episodes: kill_after.map(|f| ((episodes as f64 * f) as usize).max(1)),
+            obs: rec.clone(),
             ..RunOptions::default()
         };
         let out = scenario.train_with(&sys, episodes, &opts)?;
         if out.episodes.len() < episodes {
             // Killed mid-training: the checkpoint holds the progress; a
             // resumed run will finish the job. No evaluation to report.
+            if let Err(e) = rec.finish() {
+                eprintln!("fl-obs: could not finalize seed-{s}.jsonl: {e}");
+            }
             return Ok(Vec::new());
         }
         let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed ^ 0x5EED);
@@ -94,6 +110,9 @@ fn main() {
             Box::new(MaxFreqController),
         ];
         let runs = compare_controllers(&sys, controllers, iterations, 200.0)?;
+        if let Err(e) = rec.finish() {
+            eprintln!("fl-obs: could not finalize seed-{s}.jsonl: {e}");
+        }
         Ok(runs
             .iter()
             .map(|r| (r.name.clone(), r.ledger.mean_cost()))
@@ -101,14 +120,20 @@ fn main() {
     })
     .expect("seed sweep");
 
+    if run_rec.is_enabled() {
+        run_rec.emit(report.obs_event("seed_sweep"));
+    }
     if per_seed.iter().any(|costs| costs.is_empty()) {
-        // Stderr only: the crash half of a kill-and-resume drill must leave
-        // stdout empty so the resumed run's stdout diffs clean against an
-        // uninterrupted run.
-        eprintln!(
+        // Stderr only (Recorder::note mirrors to stderr): the crash half of
+        // a kill-and-resume drill must leave stdout empty so the resumed
+        // run's stdout diffs clean against an uninterrupted run.
+        run_rec.note(
             "abl_seeds: training killed by --kill-after; checkpoints saved — \
-             re-run with the same --ckpt (without --kill-after) to resume"
+             re-run with the same --ckpt (without --kill-after) to resume",
         );
+        if let Err(e) = run_rec.finish() {
+            eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+        }
         return;
     }
 
@@ -143,8 +168,12 @@ fn main() {
     }
     println!("\nDRL best deployable controller in {drl_wins}/{n_seeds} independent worlds.");
     println!("timing: {}", report.timing_line());
-    dump_json(
+    dump_json_obs(
+        &run_rec,
         "abl_seeds.json",
         &serde_json::json!({"n_seeds": n_seeds, "drl_wins": drl_wins, "results": results}),
     );
+    if let Err(e) = run_rec.finish() {
+        eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+    }
 }

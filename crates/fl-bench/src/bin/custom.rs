@@ -39,7 +39,8 @@ fn main() {
             print_relative(&runs);
         }
         None => {
-            eprintln!("usage: custom <config.json> | custom --template");
+            // The fl-obs note funnel (disabled recorder = stderr only).
+            fl_obs::Recorder::disabled().note("usage: custom <config.json> | custom --template");
             std::process::exit(2);
         }
     }

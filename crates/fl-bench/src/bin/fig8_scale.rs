@@ -5,27 +5,51 @@
 //! per-iteration cost almost always lowest (avg 11.2) vs heuristic (14.3)
 //! and static (17.3).
 //!
-//! Usage: `cargo run --release -p fl-bench --bin fig8_scale [episodes] [iters]`
+//! Usage: `cargo run --release -p fl-bench --bin fig8_scale [episodes] [iters] [--obs DIR]`
+//!
+//! `--obs DIR` records the full fl-obs event stream of the (parallel)
+//! training run to `DIR/run.jsonl`. Recording bypasses the controller
+//! cache — the telemetry of a cache hit would be empty.
 
 use fl_bench::{
-    dump_json, print_relative, print_round_worker_stats, print_summary_table, workers_from_env,
-    Scenario,
+    dump_json_obs, obs_recorder, print_relative, print_round_worker_stats, print_summary_table,
+    workers_from_env_obs, Scenario,
 };
-use fl_ctrl::ParallelConfig;
 use fl_ctrl::{
     compare_controllers, FrequencyController, HeuristicController, MaxFreqController,
     StaticController,
 };
+use fl_ctrl::{ParallelConfig, RunOptions};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let episodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600);
-    let iterations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let mut positional: Vec<String> = Vec::new();
+    let mut obs_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--obs" => {
+                obs_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--obs needs a directory"),
+                ))
+            }
+            _ => positional.push(a),
+        }
+    }
+    let episodes: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let iterations: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
 
     let scenario = Scenario::scale50();
-    let sys = scenario.build();
+    let rec = obs_recorder(obs_dir.as_deref(), "run.jsonl");
+    let mut sys = scenario.build();
+    sys.set_recorder(&rec);
     println!(
         "fig8: scenario={} N={} lambda={} | training {episodes} episodes, evaluating {iterations} iterations",
         scenario.name,
@@ -38,10 +62,23 @@ fn main() {
     // result); `FL_WORKERS` only changes speed.
     let par = ParallelConfig {
         n_envs: 4,
-        workers: workers_from_env(),
+        workers: workers_from_env_obs(&rec),
     };
     let t0 = std::time::Instant::now();
-    let (drl, cached, rounds) = scenario.train_cached_parallel(&sys, episodes, &par);
+    let (drl, cached, rounds) = if rec.is_enabled() {
+        // Recording bypasses the controller cache: the point of `--obs` is
+        // the training telemetry, which a cache hit would skip entirely.
+        let opts = RunOptions {
+            obs: rec.clone(),
+            ..RunOptions::default()
+        };
+        let out = scenario
+            .train_parallel_with(&sys, episodes, &par, &opts)
+            .expect("training configuration is valid");
+        (out.output.controller, false, Some(out.rounds))
+    } else {
+        scenario.train_cached_parallel(&sys, episodes, &par)
+    };
     println!(
         "DRL controller ready in {:.1?} (cache hit: {cached}, n_envs={}, workers={})",
         t0.elapsed(),
@@ -108,5 +145,8 @@ fn main() {
             "series": r.ledger.cost_series(),
         })).collect::<Vec<_>>(),
     });
-    dump_json("fig8_scale.json", &json);
+    dump_json_obs(&rec, "fig8_scale.json", &json);
+    if let Err(e) = rec.finish() {
+        eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+    }
 }

@@ -1,0 +1,320 @@
+//! Renders an fl-obs JSONL event log as a human-readable run report:
+//! schema validation, event census, phase-time table, loss-curve quantile
+//! rows, fault histogram, and the supervisor intervention timeline.
+//!
+//! ```bash
+//! cargo run --release -p fl-bench --bin abl_seeds -- 2 24 --obs out/
+//! cargo run --release -p fl-bench --bin obs_report -- out/
+//! ```
+//!
+//! Usage: `obs_report [--det] <file.jsonl | dir>...`
+//!
+//! A directory argument expands to every `*.jsonl` inside it (sorted).
+//! `--det` prints each log's deterministic projection instead of the
+//! report — the exact lines CI diffs across worker counts and
+//! kill/resume boundaries. Any schema violation (unparsable line, missing
+//! `ev`/`det`, keyless deterministic event, non-object `wall`) makes the
+//! process exit nonzero.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+/// Writes a fully rendered report to stdout. A closed pipe (`obs_report
+/// ... | head`) ends the program quietly instead of panicking.
+fn print_or_exit(text: &str) {
+    use std::io::Write as _;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn run() -> i32 {
+    let mut det_only = false;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--det" => det_only = true,
+            _ => inputs.push(PathBuf::from(a)),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: obs_report [--det] <file.jsonl | dir>...");
+        return 2;
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut found: Vec<PathBuf> = match std::fs::read_dir(&input) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("obs_report: cannot read {}: {e}", input.display());
+                    return 1;
+                }
+            };
+            found.sort();
+            if found.is_empty() {
+                eprintln!("obs_report: no .jsonl files in {}", input.display());
+                return 1;
+            }
+            files.extend(found);
+        } else {
+            files.push(input);
+        }
+    }
+
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs_report: cannot read {}: {e}", file.display());
+                return 1;
+            }
+        };
+        if det_only {
+            match fl_obs::det_projection(&text) {
+                Ok(lines) => {
+                    let mut out = String::new();
+                    for line in lines {
+                        let _ = writeln!(out, "{line}");
+                    }
+                    print_or_exit(&out);
+                }
+                Err(e) => {
+                    eprintln!("obs_report: {}: {e}", file.display());
+                    return 1;
+                }
+            }
+            continue;
+        }
+        match report(file, &text) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("obs_report: {}: {e}", file.display());
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// Validates every line of one log and prints its report sections.
+fn report(file: &std::path::Path, text: &str) -> fl_obs::ObsResult<()> {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = fl_obs::validate_line(line)
+            .map_err(|e| fl_obs::ObsError::Schema(format!("line {}: {e}", i + 1)))?;
+        events.push(v);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", file.display());
+    let mut census: BTreeMap<&str, usize> = BTreeMap::new();
+    for ev in &events {
+        *census
+            .entry(field_str(ev, "ev").unwrap_or("?"))
+            .or_default() += 1;
+    }
+    let census_line: Vec<String> = census.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    let _ = writeln!(out, "{} events: {}", events.len(), census_line.join(" "));
+
+    phase_table(&mut out, &events);
+    loss_quantiles(&mut out, &events);
+    fault_section(&mut out, &events);
+    intervention_timeline(&mut out, &events);
+    let _ = writeln!(out);
+    print_or_exit(&out);
+    Ok(())
+}
+
+fn field_str<'a>(ev: &'a Value, name: &str) -> Option<&'a str> {
+    ev.get(name).and_then(Value::as_str)
+}
+
+fn field_f64(ev: &Value, name: &str) -> Option<f64> {
+    ev.get(name).and_then(Value::as_f64)
+}
+
+fn is_event(ev: &Value, name: &str) -> bool {
+    field_str(ev, "ev") == Some(name)
+}
+
+/// Per-phase wall-clock breakdown from the last `phase_summary` event.
+fn phase_table(out: &mut String, events: &[Value]) {
+    let Some(summary) = events.iter().rev().find(|e| is_event(e, "phase_summary")) else {
+        return;
+    };
+    let Some(phases) = summary.get("phases").and_then(Value::as_object) else {
+        return;
+    };
+    let _ = writeln!(out, "\n-- phase times --");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "total_s", "mean_s", "min_s", "max_s"
+    );
+    for (path, stat) in phases {
+        let g = |n: &str| stat.get(n).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{path:<24} {:>8} {:>10.4} {:>10.6} {:>10.6} {:>10.6}",
+            g("count") as u64,
+            g("total_s"),
+            g("mean_s"),
+            g("min_s"),
+            g("max_s")
+        );
+    }
+}
+
+/// PPO training-curve summary: quantiles of each per-update diagnostic
+/// across the run, plus the last value (the "where did it end up" row).
+fn loss_quantiles(out: &mut String, events: &[Value]) {
+    let mut updates: Vec<&Value> = events
+        .iter()
+        .filter(|e| is_event(e, "ppo_update"))
+        .collect();
+    if updates.is_empty() {
+        return;
+    }
+    updates.sort_by(|a, b| {
+        let ka = field_f64(a, "update").unwrap_or(f64::NAN);
+        let kb = field_f64(b, "update").unwrap_or(f64::NAN);
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let _ = writeln!(out, "\n-- PPO updates ({}) --", updates.len());
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "metric", "q0", "q25", "q50", "q75", "q100", "last"
+    );
+    for metric in [
+        "policy_loss",
+        "value_loss",
+        "entropy",
+        "approx_kl",
+        "clip_fraction",
+        "grad_norm",
+        "reward_mean",
+    ] {
+        let mut vals: Vec<f64> = updates
+            .iter()
+            .filter_map(|u| field_f64(u, metric))
+            .filter(|v| v.is_finite())
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let last = *vals.last().expect("nonempty");
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| fl_obs::quantile_sorted(&vals, p);
+        let _ = writeln!(
+            out,
+            "{metric:<14} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            q(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(1.0),
+            last
+        );
+    }
+}
+
+/// Aggregated device-outcome tallies from the deterministic `fl_round`
+/// events, plus the round-duration histogram from the last
+/// `metrics_summary` (when the simulator's recorder was attached).
+fn fault_section(out: &mut String, events: &[Value]) {
+    let rounds: Vec<&Value> = events.iter().filter(|e| is_event(e, "fl_round")).collect();
+    if !rounds.is_empty() {
+        let sum = |name: &str| -> u64 {
+            rounds
+                .iter()
+                .filter_map(|r| field_f64(r, name))
+                .sum::<f64>() as u64
+        };
+        let _ = writeln!(
+            out,
+            "\n-- device outcomes over {} FL rounds --",
+            rounds.len()
+        );
+        let _ = writeln!(
+            out,
+            "completed={} straggled={} dropped={} failed={}",
+            sum("completed"),
+            sum("straggled"),
+            sum("dropped"),
+            sum("failed")
+        );
+    }
+    let Some(ms) = events.iter().rev().find(|e| is_event(e, "metrics_summary")) else {
+        return;
+    };
+    let Some(hist) = ms
+        .get("histograms")
+        .and_then(|h| h.get("sim.round_duration_s"))
+        .and_then(Value::as_object)
+    else {
+        return;
+    };
+    let bounds: Vec<f64> = hist
+        .get("bounds")
+        .and_then(Value::as_array)
+        .map(|a| a.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_default();
+    let counts: Vec<u64> = hist
+        .get("counts")
+        .and_then(Value::as_array)
+        .map(|a| a.iter().filter_map(Value::as_u64).collect())
+        .unwrap_or_default();
+    if counts.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\n-- round duration histogram (s) --");
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, c) in counts.iter().enumerate() {
+        let label = if i < bounds.len() {
+            format!("<= {:>7.1}", bounds[i])
+        } else {
+            "overflow  ".to_string()
+        };
+        let bar = "#".repeat(((c * 40) / peak) as usize);
+        let _ = writeln!(out, "{label} {c:>8} {bar}");
+    }
+}
+
+/// The supervisor intervention timeline, in strike order.
+fn intervention_timeline(out: &mut String, events: &[Value]) {
+    let mut ivs: Vec<&Value> = events
+        .iter()
+        .filter(|e| is_event(e, "intervention"))
+        .collect();
+    if ivs.is_empty() {
+        return;
+    }
+    ivs.sort_by_key(|e| field_str(e, "key").unwrap_or("").to_string());
+    let _ = writeln!(out, "\n-- supervisor interventions --");
+    for iv in ivs {
+        let _ = writeln!(
+            out,
+            "strike {:>3} at episode {:>6}: {} -> {} (lr_scale {:.4})",
+            field_f64(iv, "strike").unwrap_or(f64::NAN) as u64,
+            field_f64(iv, "episode").unwrap_or(f64::NAN) as u64,
+            field_str(iv, "cause").unwrap_or("?"),
+            field_str(iv, "action").unwrap_or("?"),
+            field_f64(iv, "lr_scale").unwrap_or(f64::NAN),
+        );
+    }
+}

@@ -6,6 +6,9 @@
 //! Operating points are independent, so they fan out across the
 //! work-stealing pool (`FL_WORKERS` caps the threads; rows print in the
 //! same order regardless).
+//!
+//! Usage: `cargo run --release -p fl-bench --bin tune_scan [--obs DIR]`
+//! (`--obs DIR` records sweep telemetry to `DIR/run.jsonl`).
 
 use fl_ctrl::{
     compare_controllers, run_parallel_sweep, FrequencyController, HeuristicController,
@@ -53,7 +56,17 @@ fn main() {
         (1.0, 10.0, 6.25, 12.5),
         (2.0, 10.0, 6.25, 12.5),
     ];
-    let workers = fl_bench::workers_from_env();
+    let mut obs_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--obs" {
+            obs_dir = Some(std::path::PathBuf::from(
+                args.next().expect("--obs needs a directory"),
+            ));
+        }
+    }
+    let run_rec = fl_bench::obs_recorder(obs_dir.as_deref(), "run.jsonl");
+    let workers = fl_bench::workers_from_env_obs(&run_rec);
     let (rows, report) = run_parallel_sweep(workers, points, |_, (lambda, xi, dlo, dhi)| {
         let sys = build(lambda, xi, dlo, dhi);
         let mut rng2 = ChaCha8Rng::seed_from_u64(7);
@@ -84,4 +97,10 @@ fn main() {
         println!();
     }
     println!("timing: {}", report.timing_line());
+    if run_rec.is_enabled() {
+        run_rec.emit(report.obs_event("tune_scan"));
+        if let Err(e) = run_rec.finish() {
+            eprintln!("fl-obs: could not finalize run.jsonl: {e}");
+        }
+    }
 }

@@ -276,11 +276,56 @@ impl Scenario {
 /// parallelism. Thanks to the engine's determinism contract this only
 /// changes how fast the binaries run, never what they print.
 pub fn workers_from_env() -> usize {
-    std::env::var("FL_WORKERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&w| w >= 1)
-        .unwrap_or_else(fl_rl::pool::default_workers)
+    workers_from_env_obs(&fl_obs::Recorder::disabled())
+}
+
+/// [`workers_from_env`] with observability: an unparsable or zero
+/// `FL_WORKERS` is no longer swallowed silently — it prints a stderr note
+/// and, when the recorder is enabled, emits a structured `warning` event
+/// before falling back to the machine's available parallelism.
+pub fn workers_from_env_obs(rec: &fl_obs::Recorder) -> usize {
+    let Ok(raw) = std::env::var("FL_WORKERS") else {
+        return fl_rl::pool::default_workers();
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(w) if w >= 1 => w,
+        _ => {
+            let fallback = fl_rl::pool::default_workers();
+            if rec.is_enabled() {
+                rec.emit(
+                    fl_obs::Event::phys("warning")
+                        .s("what", "bad_fl_workers")
+                        .s("value", raw.as_str())
+                        .u("fallback", fallback as u64),
+                );
+            }
+            eprintln!(
+                "fl-bench: ignoring FL_WORKERS={raw:?} (want an integer >= 1); \
+                 using {fallback} workers"
+            );
+            fallback
+        }
+    }
+}
+
+/// Opens the observability recorder a benchmark binary writes to:
+/// `Some(dir)` records to `dir/<file>`, `None` is the disabled no-op
+/// recorder. An unopenable sink degrades to disabled with a stderr note
+/// rather than aborting the benchmark.
+pub fn obs_recorder(dir: Option<&std::path::Path>, file: &str) -> fl_obs::Recorder {
+    let Some(dir) = dir else {
+        return fl_obs::Recorder::disabled();
+    };
+    match fl_obs::Recorder::to_file(dir.join(file)) {
+        Ok(rec) => rec,
+        Err(e) => {
+            eprintln!(
+                "fl-bench: cannot open event sink {}/{file}: {e}; recording disabled",
+                dir.display()
+            );
+            fl_obs::Recorder::disabled()
+        }
+    }
 }
 
 /// Prints per-worker totals (tasks, steals, busy seconds) aggregated over
@@ -351,13 +396,20 @@ pub fn print_cdf(metric: &str, series: &[(String, Vec<f64>)], points: usize) {
 /// numbers are regenerable. The write is atomic (tmp + fsync + rename), so
 /// a crash mid-dump never leaves a torn results file behind.
 pub fn dump_json(filename: &str, value: &serde_json::Value) {
+    dump_json_obs(&fl_obs::Recorder::disabled(), filename, value)
+}
+
+/// [`dump_json`] with observability: a failed write is routed through
+/// [`fl_obs::Recorder::note`] (stderr + a `note` event when recording)
+/// instead of a bare `eprintln!`.
+pub fn dump_json_obs(rec: &fl_obs::Recorder, filename: &str, value: &serde_json::Value) {
     let path = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(path);
     let full = path.join(filename);
     let text = serde_json::to_string_pretty(value).expect("valid json");
     match fl_rl::snapshot::atomic_write(&full, text.as_bytes()) {
         Ok(()) => println!("\n[results written to {}]", full.display()),
-        Err(e) => eprintln!("could not write {}: {e}", full.display()),
+        Err(e) => rec.note(&format!("could not write {}: {e}", full.display())),
     }
 }
 

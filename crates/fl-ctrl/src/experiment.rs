@@ -119,6 +119,31 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// The physical `pool_round` observability event for this sweep:
+    /// worker count and per-worker telemetry, with all timings under the
+    /// `wall` sub-object (scheduling is physical, never deterministic).
+    pub fn obs_event(&self, label: &str) -> fl_obs::Event {
+        let per_worker = serde_json::Value::Array(
+            self.workers
+                .iter()
+                .map(fl_rl::pool::WorkerStats::obs_value)
+                .collect(),
+        );
+        fl_obs::Event::phys("pool_round")
+            .s("label", label)
+            .u("workers", self.workers.len() as u64)
+            .u(
+                "tasks",
+                self.workers.iter().map(|w| w.tasks).sum::<usize>() as u64,
+            )
+            .wall_val("per_worker", per_worker)
+            .wall_f("s", self.wall.as_secs_f64())
+            .wall_f(
+                "busy_s",
+                self.workers.iter().map(|w| w.busy.as_secs_f64()).sum(),
+            )
+    }
+
     /// Human-readable per-worker timing summary.
     pub fn timing_line(&self) -> String {
         let wall = self.wall.as_secs_f64();

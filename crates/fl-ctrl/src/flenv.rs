@@ -112,6 +112,17 @@ pub struct FlFreqEnv {
     /// Previous iteration's per-device participation flags (1.0 =
     /// survived), appended to the observation when faults are enabled.
     flags: Vec<f64>,
+    /// Episodes started over this env's lifetime (bumped by the trait
+    /// [`Environment::reset`], serialized with the env state). The episode
+    /// currently in progress has index `started − 1`; it keys the
+    /// deterministic `fl_round` events so they stay stable across worker
+    /// counts and kill/resume boundaries. Maintained unconditionally —
+    /// recording on or off never changes env behavior.
+    started: u64,
+    /// Observability hub (disabled by default) plus the scope string
+    /// (`env0`, `env1`, …) prefixed onto event keys.
+    recorder: fl_obs::Recorder,
+    scope: String,
 }
 
 impl FlFreqEnv {
@@ -127,7 +138,28 @@ impl FlFreqEnv {
             last_report: None,
             plan: None,
             flags: vec![1.0; n],
+            started: 0,
+            recorder: fl_obs::Recorder::disabled(),
+            scope: "env0".to_string(),
         })
+    }
+
+    /// Attaches an observability recorder under `scope` (e.g. `env0`):
+    /// every iteration emits a deterministic `fl_round` event with the
+    /// paper's per-round telemetry (`T^k`, per-device `t_cmp`/`t_com`/
+    /// `E_i^k`, chosen frequencies, outcome tally). Recording never
+    /// consumes RNG and never changes the trajectory.
+    pub fn set_recorder(&mut self, recorder: fl_obs::Recorder, scope: impl Into<String>) {
+        self.recorder = recorder;
+        self.scope = scope.into();
+    }
+
+    /// Pins the index the *next* episode will carry (the serial training
+    /// loop seeds this from its global episode count so event keys survive
+    /// resume and supervisor rollback; parallel slots carry the counter in
+    /// their serialized state instead).
+    pub fn seek_episode(&mut self, episode_index: u64) {
+        self.started = episode_index;
     }
 
     /// The wrapped system.
@@ -224,6 +256,7 @@ impl FlFreqEnv {
             None => self.sys.run_iteration(self.t, &freqs)?,
         };
         let reward = -report.cost(self.sys.config().lambda);
+        self.emit_round_event(&report, &freqs);
         self.t = report.end_time();
         self.k += 1;
         if self.cfg.faults_enabled() {
@@ -240,6 +273,42 @@ impl FlFreqEnv {
             reward,
             done,
         })
+    }
+
+    /// Emits the deterministic `fl_round` event for a just-evaluated
+    /// iteration (no-op when recording is off). Called *before* `t`/`k`
+    /// advance, so `self.k` is the round's own index. Every field is a
+    /// pure function of the physics; the key is
+    /// `{scope}/e{episode}/k{round}`, both counters surviving checkpoints.
+    fn emit_round_event(&self, report: &IterationReport, freqs: &[f64]) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let episode = self.started.saturating_sub(1);
+        let tally = report.outcome_tally();
+        let dev = |f: fn(&fl_sim::DeviceOutcome) -> f64| -> Vec<f64> {
+            report.devices.iter().map(f).collect()
+        };
+        self.recorder.emit(
+            fl_obs::Event::det(
+                "fl_round",
+                format!("{}/e{:06}/k{:04}", self.scope, episode, self.k),
+            )
+            .u("episode", episode)
+            .u("k", self.k as u64)
+            .f("t_start", report.start_time)
+            .f("duration", report.duration)
+            .f("cost", report.cost(self.sys.config().lambda))
+            .f("energy", report.total_energy())
+            .arr_f("freqs", freqs)
+            .arr_f("t_cmp", &dev(|d| d.compute_time))
+            .arr_f("t_com", &dev(|d| d.comm_time))
+            .arr_f("e_i", &dev(fl_sim::DeviceOutcome::total_energy))
+            .u("completed", tally.completed as u64)
+            .u("straggled", tally.straggled as u64)
+            .u("dropped", tally.dropped as u64)
+            .u("failed", tally.failed as u64),
+        );
     }
 }
 
@@ -258,6 +327,9 @@ impl Environment for FlFreqEnv {
     }
 
     fn reset(&mut self, rng: &mut ChaCha8Rng) -> fl_rl::Result<Vec<f64>> {
+        // The episode now starting gets index `started` (see
+        // `seek_episode`); the bump is unconditional and RNG-free.
+        self.started += 1;
         // Algorithm 1 line 6: random federated-learning start time.
         let horizon = self.sys.traces().random_start_time(rng).max(0.0);
         // Keep the start beyond the history window so early slots exist
@@ -303,6 +375,8 @@ impl Environment for FlFreqEnv {
 struct FlFreqEnvState {
     t: f64,
     k: usize,
+    /// Lifetime episode counter (exact below 2⁵³ — far beyond any run).
+    started: u64,
     flags: Vec<f64>,
     last_report: Option<IterationReport>,
     plan: Option<PlanState>,
@@ -322,6 +396,7 @@ impl fl_rl::SnapshotEnv for FlFreqEnv {
         FlFreqEnvState {
             t: self.t,
             k: self.k,
+            started: self.started,
             flags: self.flags.clone(),
             last_report: self.last_report.clone(),
             plan: self.plan.as_ref().map(|p| {
@@ -363,6 +438,7 @@ impl fl_rl::SnapshotEnv for FlFreqEnv {
         };
         self.t = s.t;
         self.k = s.k;
+        self.started = s.started;
         self.flags = s.flags;
         self.last_report = s.last_report;
         self.plan = plan;

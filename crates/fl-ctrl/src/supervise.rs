@@ -74,6 +74,43 @@ pub struct Intervention {
     pub action: RecoveryAction,
 }
 
+impl DivergenceCause {
+    /// Stable machine-readable tag (part of the event-schema contract).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DivergenceCause::NonFinite => "non_finite",
+            DivergenceCause::RewardCollapse => "reward_collapse",
+        }
+    }
+}
+
+impl RecoveryAction {
+    /// Stable machine-readable tag (part of the event-schema contract).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecoveryAction::RollbackBackoff => "rollback_backoff",
+            RecoveryAction::RollbackReseed => "rollback_reseed",
+            RecoveryAction::Abort => "abort",
+        }
+    }
+}
+
+impl Intervention {
+    /// The deterministic `intervention` observability event for this
+    /// strike. Interventions replay identically on resume (the supervisor
+    /// state is checkpointed), so the strike number is a stable key.
+    /// `lr_scale` is the cumulative backoff multiplier *after* this
+    /// intervention.
+    pub fn obs_event(&self, lr_scale: f64) -> fl_obs::Event {
+        fl_obs::Event::det("intervention", format!("s{:04}", self.strike))
+            .u("episode", self.episode as u64)
+            .u("strike", u64::from(self.strike))
+            .s("cause", self.cause.tag())
+            .s("action", self.action.tag())
+            .f("lr_scale", lr_scale)
+    }
+}
+
 /// Structured training failure raised by the supervisor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrainError {

@@ -7,6 +7,7 @@ use crate::supervise::{
     SupervisorState, TrainError,
 };
 use crate::{CtrlError, Result};
+use fl_obs::{Event, Recorder};
 use fl_rl::runner::{RunnerState, VecEnvRunner};
 use fl_rl::snapshot::{self, CheckpointStore, RngState};
 use fl_rl::{Environment, PpoAgent, PpoConfig, RolloutBuffer, Transition};
@@ -244,6 +245,11 @@ pub struct RunOptions {
     /// Test hook: poison the N-th PPO update with a NaN parameter (see
     /// [`PpoAgent::poison_update_for_test`]). Ignored when resuming.
     pub poison_update: Option<u64>,
+    /// Observability sink (`fl_obs`). The default disabled recorder is a
+    /// no-op; an enabled one receives spans, metrics, and the JSONL event
+    /// stream. Recording never consumes RNG and never branches training:
+    /// runs with and without it are bit-identical.
+    pub obs: Recorder,
 }
 
 impl RunOptions {
@@ -306,10 +312,19 @@ fn load_resume_state(
     if !ck.resume {
         return Ok(None);
     }
-    let Some((_seq, payload)) = store.load_latest()? else {
+    let Some((seq, payload)) = store.load_latest()? else {
         return Ok(None);
     };
     let st: TrainState = snapshot::decode_payload(&payload)?;
+    if opts.obs.is_enabled() {
+        opts.obs.emit(
+            Event::phys("checkpoint_load")
+                .u("seq", seq)
+                .u("episodes", st.episodes.len() as u64)
+                .u("n_envs", n_envs as u64)
+                .u("bytes", payload.len() as u64),
+        );
+    }
     if st.config_digest != digest {
         return Err(CtrlError::InvalidArgument(
             "checkpoint was written under a different training configuration".to_string(),
@@ -348,7 +363,7 @@ fn recover(
         .into());
     }
     let reseed = runner.is_some() && strike >= pol.reseed_after;
-    sup.interventions.push(Intervention {
+    let iv = Intervention {
         episode,
         strike,
         cause,
@@ -357,8 +372,12 @@ fn recover(
         } else {
             RecoveryAction::RollbackBackoff
         },
-    });
+    };
+    sup.interventions.push(iv);
     sup.lr_scale *= pol.lr_backoff;
+    if opts.obs.is_enabled() {
+        opts.obs.emit(iv.obs_event(sup.lr_scale));
+    }
     let bytes = last_good
         .as_ref()
         .expect("supervisor captures a baseline before training");
@@ -384,6 +403,14 @@ fn recover(
         }
     }
     *st = restored;
+    // `decode_payload` rebuilt the agent from scratch (the recorder field is
+    // `#[serde(skip)]`), so re-attach the run's recorder.
+    st.agent.set_recorder(opts.obs.clone());
+    opts.obs.note(&format!(
+        "supervisor: strike {strike} at episode {episode} ({}) -> {}",
+        iv.cause.tag(),
+        iv.action.tag()
+    ));
     Ok(())
 }
 
@@ -410,6 +437,56 @@ fn finish_output(st: TrainState, config: &TrainConfig) -> Result<TrainOutput> {
         interventions: supervisor.interventions,
         agent,
     })
+}
+
+/// Emits the deterministic `episode` event for the newest entry of
+/// `st.episodes`. Pure function of the (bit-identical) training state, so
+/// the event is invariant across worker counts and kill/resume boundaries.
+fn emit_episode_event(obs: &Recorder, st: &TrainState) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let Some(e) = st.episodes.last() else {
+        return;
+    };
+    obs.emit(
+        Event::det("episode", format!("e{:06}", e.episode))
+            .u("episode", e.episode as u64)
+            .f("mean_cost", e.mean_cost)
+            .f("total_reward", e.total_reward)
+            .f("policy_loss", e.policy_loss)
+            .f("value_loss", e.value_loss)
+            .f("entropy", e.entropy)
+            .u("updates_so_far", e.updates_so_far as u64),
+    );
+}
+
+/// Saves one checkpoint under the `checkpoint_save` span, emits the
+/// physical `checkpoint_save` event, and flushes the event sink so a crash
+/// right after the save loses no telemetry. Checkpoint events are
+/// *physical*, not deterministic: the save cadence after a resume is
+/// genuinely different whenever `every_episodes` does not divide the kill
+/// point.
+fn save_checkpoint(
+    obs: &Recorder,
+    store: &CheckpointStore,
+    payload: &[u8],
+    episodes: usize,
+) -> Result<()> {
+    let _span = obs.span("checkpoint_save");
+    let seq = store.save(payload)?;
+    if obs.is_enabled() {
+        obs.emit(
+            Event::phys("checkpoint_save")
+                .u("seq", seq)
+                .u("episodes", episodes as u64)
+                .u("bytes", payload.len() as u64),
+        );
+        if let Err(e) = obs.flush() {
+            eprintln!("fl-obs: event flush failed (training continues): {e}");
+        }
+    }
+    Ok(())
 }
 
 /// One serial training episode, operating directly on the training state
@@ -503,6 +580,15 @@ pub fn train_drl_opt(
     config.validate()?;
     opts.validate()?;
     let mut env = FlFreqEnv::new(sys.clone(), config.env)?;
+    env.set_recorder(opts.obs.clone(), "env0");
+    if opts.obs.is_enabled() {
+        opts.obs.emit(
+            Event::phys("run_meta")
+                .s("path", "serial")
+                .u("episodes", config.episodes as u64)
+                .u("devices", sys.num_devices() as u64),
+        );
+    }
     let lambda = sys.config().lambda;
     let digest = config_digest(config)?;
     let store = match &opts.checkpoint {
@@ -511,12 +597,14 @@ pub fn train_drl_opt(
     };
 
     let mut st = match load_resume_state(opts, &store, digest, 0)? {
-        Some(st) => {
+        Some(mut st) => {
             *rng = st.master_rng.restore()?;
+            st.agent.set_recorder(opts.obs.clone());
             st
         }
         None => {
             let mut agent = build_agent(sys, config, env.obs_dim(), env.action_dim(), rng)?;
+            agent.set_recorder(opts.obs.clone());
             if let Some(update) = opts.poison_update {
                 agent.poison_update_for_test(update);
             }
@@ -549,6 +637,10 @@ pub fn train_drl_opt(
 
     'training: while st.episodes.len() < config.episodes && st.episodes.len() < stop_at {
         let episode = st.episodes.len();
+        // Align the env's episode counter with the training history so the
+        // deterministic `fl_round` event keys survive resume and rollback.
+        // Unconditional and RNG-free: identical with recording disabled.
+        env.seek_episode(episode as u64);
         match run_serial_episode(&mut st, &mut env, config, lambda, rng) {
             Ok(()) => {}
             Err(CtrlError::Rl(fl_rl::RlError::Diverged(msg))) => {
@@ -568,7 +660,9 @@ pub fn train_drl_opt(
             }
             Err(e) => return Err(e),
         }
+        emit_episode_event(&opts.obs, &st);
         if let Some(pol) = &opts.supervisor {
+            let _sup_span = opts.obs.span("supervisor_check");
             let costs: Vec<f64> = st.episodes.iter().map(|e| e.mean_cost).collect();
             if reward_collapsed(&costs, pol.collapse_window, pol.collapse_factor) {
                 recover(
@@ -593,7 +687,8 @@ pub fn train_drl_opt(
             st.master_rng = RngState::capture(rng);
             let payload = snapshot::encode_payload(&st)?;
             if due {
-                store.as_ref().expect("due implies store").save(&payload)?;
+                let store = store.as_ref().expect("due implies store");
+                save_checkpoint(&opts.obs, store, &payload, st.episodes.len())?;
                 episodes_since_ckpt = 0;
             }
             if opts.supervisor.is_some() {
@@ -702,19 +797,36 @@ pub fn train_drl_parallel_opt(
         Some(ck) => Some(CheckpointStore::new(&ck.dir)?),
         None => None,
     };
-    let envs: Vec<FlFreqEnv> = (0..par.n_envs)
+    let mut envs: Vec<FlFreqEnv> = (0..par.n_envs)
         .map(|_| FlFreqEnv::new(sys.clone(), config.env))
         .collect::<std::result::Result<_, _>>()?;
+    for (i, env) in envs.iter_mut().enumerate() {
+        // Per-slot scopes keep `fl_round` event keys unique across the
+        // vectorized replicas (`env0/e…`, `env1/e…`, …).
+        env.set_recorder(opts.obs.clone(), format!("env{i}"));
+    }
+    if opts.obs.is_enabled() {
+        opts.obs.emit(
+            Event::phys("run_meta")
+                .s("path", "parallel")
+                .u("episodes", config.episodes as u64)
+                .u("n_envs", par.n_envs as u64)
+                .u("workers", par.workers as u64)
+                .u("devices", sys.num_devices() as u64),
+        );
+    }
     let obs_dim = envs[0].obs_dim();
     let action_dim = envs[0].action_dim();
 
     let (mut st, mut runner) = match load_resume_state(opts, &store, digest, par.n_envs)? {
-        Some(st) => {
+        Some(mut st) => {
             *rng = st.master_rng.restore()?;
+            st.agent.set_recorder(opts.obs.clone());
             // The constructor seed is a placeholder: import_state overwrites
             // every slot (env state, stream, position) from the checkpoint,
             // so the master seed is never re-drawn on resume.
             let mut runner = VecEnvRunner::new(envs, 0, par.workers).map_err(CtrlError::from)?;
+            runner.set_recorder(opts.obs.clone());
             let saved = st.runner.as_ref().ok_or_else(|| {
                 CtrlError::InvalidArgument(
                     "checkpoint carries no runner state (serial-path checkpoint?)".to_string(),
@@ -725,6 +837,7 @@ pub fn train_drl_parallel_opt(
         }
         None => {
             let mut agent = build_agent(sys, config, obs_dim, action_dim, rng)?;
+            agent.set_recorder(opts.obs.clone());
             if let Some(update) = opts.poison_update {
                 agent.poison_update_for_test(update);
             }
@@ -734,8 +847,9 @@ pub fn train_drl_parallel_opt(
             // RNG itself keeps driving only agent init + PPO minibatch
             // shuffling.
             let master_seed = rand::RngCore::next_u64(rng);
-            let runner =
+            let mut runner =
                 VecEnvRunner::new(envs, master_seed, par.workers).map_err(CtrlError::from)?;
+            runner.set_recorder(opts.obs.clone());
             let st = TrainState {
                 config_digest: digest,
                 n_envs: par.n_envs,
@@ -809,10 +923,12 @@ pub fn train_drl_parallel_opt(
                 entropy: st.last_entropy,
                 updates_so_far: st.updates_so_far,
             });
+            emit_episode_event(&opts.obs, &st);
         }
         episodes_since_ckpt += summary.episodes.len();
         rounds.push(summary.workers);
         if let Some(pol) = &opts.supervisor {
+            let _sup_span = opts.obs.span("supervisor_check");
             let costs: Vec<f64> = st.episodes.iter().map(|e| e.mean_cost).collect();
             if reward_collapsed(&costs, pol.collapse_window, pol.collapse_factor) {
                 recover(
@@ -837,7 +953,8 @@ pub fn train_drl_parallel_opt(
             st.runner = Some(runner.export_state());
             let payload = snapshot::encode_payload(&st)?;
             if due {
-                store.as_ref().expect("due implies store").save(&payload)?;
+                let store = store.as_ref().expect("due implies store");
+                save_checkpoint(&opts.obs, store, &payload, st.episodes.len())?;
                 episodes_since_ckpt = 0;
             }
             if opts.supervisor.is_some() {

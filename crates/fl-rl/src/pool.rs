@@ -31,6 +31,20 @@ pub struct WorkerStats {
     pub busy: Duration,
 }
 
+impl WorkerStats {
+    /// JSON form for observability events. Everything here is scheduling
+    /// telemetry — physical by nature, never part of a deterministic
+    /// event.
+    pub fn obs_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "worker": self.worker as f64,
+            "tasks": self.tasks as f64,
+            "steals": self.steals as f64,
+            "busy_s": self.busy.as_secs_f64(),
+        })
+    }
+}
+
 /// Outcome of [`run_indexed`]: results in task order plus telemetry.
 #[derive(Debug)]
 pub struct PoolRun<R> {
@@ -46,6 +60,25 @@ impl<R> PoolRun<R> {
     /// Total busy time across workers (the serial-equivalent cost).
     pub fn total_busy(&self) -> Duration {
         self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// The physical `pool_round` observability event for this batch:
+    /// worker count, per-worker task/steal telemetry, and wall/busy
+    /// timings. `label` names the workload (e.g. `"rollout"`,
+    /// `"seed_sweep"`).
+    pub fn obs_event(&self, label: &str) -> fl_obs::Event {
+        let per_worker =
+            serde_json::Value::Array(self.workers.iter().map(WorkerStats::obs_value).collect());
+        fl_obs::Event::phys("pool_round")
+            .s("label", label)
+            .u("workers", self.workers.len() as u64)
+            .u(
+                "tasks",
+                self.workers.iter().map(|w| w.tasks).sum::<usize>() as u64,
+            )
+            .wall_val("per_worker", per_worker)
+            .wall_f("s", self.wall.as_secs_f64())
+            .wall_f("busy_s", self.total_busy().as_secs_f64())
     }
 
     /// One-line human summary of the batch ("4 workers, 2.13x speedup").

@@ -7,6 +7,7 @@ use crate::policy::GaussianPolicy;
 use crate::value::ValueNet;
 use crate::{Result, RlError};
 use fl_nn::{loss, Adam, Matrix, Optimizer};
+use fl_obs::{Event, Recorder};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -144,6 +145,12 @@ pub struct UpdateStats {
     pub minibatches: usize,
     /// Number of epochs actually run (may stop early on KL).
     pub epochs_run: usize,
+    /// Mean pre-clip actor gradient L2 norm across minibatches.
+    pub grad_norm: f64,
+    /// Mean reward over the buffer this update consumed.
+    pub reward_mean: f64,
+    /// Population standard deviation of the buffer rewards.
+    pub reward_std: f64,
 }
 
 /// Output of one [`PpoAgent::act`] call.
@@ -233,6 +240,12 @@ pub struct PpoAgent {
     /// clears the poison, so the fault fires exactly once.
     #[serde(skip)]
     test_poison: Option<u64>,
+    /// Observability hub (disabled by default). `#[serde(skip)]`: restoring
+    /// a snapshot — resume *or* supervisor rollback — detaches the
+    /// recorder, so the restoring site decides whether to re-attach it.
+    /// Recording never consumes RNG and never branches training.
+    #[serde(skip)]
+    recorder: Recorder,
 }
 
 impl PpoAgent {
@@ -283,6 +296,7 @@ impl PpoAgent {
             training: true,
             updates_done: 0,
             test_poison: None,
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -331,6 +345,14 @@ impl PpoAgent {
         let lr = self.critic_opt.learning_rate() * factor;
         self.critic_opt.set_learning_rate(lr);
         self.log_std_opt.lr *= factor;
+    }
+
+    /// Attaches an observability recorder: [`PpoAgent::update`] will time
+    /// its GAE/epoch phases and emit one deterministic `ppo_update` event
+    /// per completed update. The recorder is not serialized, so any
+    /// snapshot restore detaches it — re-attach after resume or rollback.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Arms the test-only NaN fault: the update whose 0-based index (per
@@ -453,15 +475,27 @@ impl PpoAgent {
                 "update called with empty buffer".to_string(),
             ));
         }
-        let (mut adv, returns) = gae(
-            &buffer.rewards(),
-            &buffer.values(),
-            &buffer.dones(),
-            last_value,
-            self.config.gamma,
-            self.config.gae_lambda,
-        );
+        let _update_span = self.recorder.span("update");
+        let rewards = buffer.rewards();
+        let (mut adv, returns) = {
+            let _gae_span = self.recorder.span("gae");
+            gae(
+                &rewards,
+                &buffer.values(),
+                &buffer.dones(),
+                last_value,
+                self.config.gamma,
+                self.config.gae_lambda,
+            )
+        };
         normalize_advantages(&mut adv);
+        let reward_mean = rewards.iter().sum::<f64>() / n as f64;
+        let reward_std = (rewards
+            .iter()
+            .map(|r| (r - reward_mean) * (r - reward_mean))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
 
         let obs = buffer.obs_matrix();
         let actions = buffer.action_matrix();
@@ -477,7 +511,9 @@ impl PpoAgent {
         let mut total_samples = 0usize;
         let mut minibatches = 0usize;
         let mut epochs_run = 0usize;
+        let mut total_gnorm = 0.0;
 
+        let _epochs_span = self.recorder.span("epochs");
         let mut indices: Vec<usize> = (0..n).collect();
         'epochs: for _epoch in 0..self.config.epochs {
             epochs_run += 1;
@@ -525,7 +561,8 @@ impl PpoAgent {
                 // d(−c_ent · H)/d lnσ_d = −c_ent.
                 self.policy
                     .add_uniform_log_std_grad(-self.config.entropy_coef);
-                self.policy
+                total_gnorm += self
+                    .policy
                     .mean_net_mut()
                     .clip_grad_norm(self.config.max_grad_norm);
                 self.actor_opt.step(self.policy.mean_net_mut());
@@ -592,6 +629,8 @@ impl PpoAgent {
             }
         }
 
+        drop(_epochs_span);
+
         // Optional learning-rate annealing.
         if self.config.lr_decay < 1.0 {
             let d = self.config.lr_decay;
@@ -624,7 +663,7 @@ impl PpoAgent {
         self.updates_done += 1;
 
         let mbf = minibatches.max(1) as f64;
-        Ok(UpdateStats {
+        let stats = UpdateStats {
             policy_loss: total_ploss / mbf,
             value_loss: total_vloss / mbf,
             entropy: self.policy.entropy(),
@@ -632,7 +671,44 @@ impl PpoAgent {
             clip_fraction: total_clipped as f64 / total_samples.max(1) as f64,
             minibatches,
             epochs_run,
-        })
+            grad_norm: total_gnorm / mbf,
+            reward_mean,
+            reward_std,
+        };
+        self.emit_update_event(&stats);
+        Ok(stats)
+    }
+
+    /// Emits the deterministic `ppo_update` event for a just-completed
+    /// update. Every field is a pure function of training state, so the
+    /// event is invariant to worker count and resume boundaries; the key
+    /// is the lifetime update index, which survives checkpoints.
+    fn emit_update_event(&self, stats: &UpdateStats) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let idx = self.updates_done - 1;
+        let (lr_actor, lr_critic) = self.learning_rates();
+        let l2 = |xs: &[f64]| xs.iter().map(|x| x * x).sum::<f64>().sqrt();
+        self.recorder.emit(
+            Event::det("ppo_update", format!("u{idx:08}"))
+                .u("update", idx)
+                .f("policy_loss", stats.policy_loss)
+                .f("value_loss", stats.value_loss)
+                .f("entropy", stats.entropy)
+                .f("approx_kl", stats.approx_kl)
+                .f("clip_fraction", stats.clip_fraction)
+                .f("grad_norm", stats.grad_norm)
+                .f("reward_mean", stats.reward_mean)
+                .f("reward_std", stats.reward_std)
+                .u("minibatches", stats.minibatches as u64)
+                .u("epochs_run", stats.epochs_run as u64)
+                .f("lr_actor", lr_actor)
+                .f("lr_critic", lr_critic)
+                .f("obs_norm_count", self.obs_norm.count())
+                .f("obs_norm_mean_l2", l2(self.obs_norm.mean()))
+                .f("obs_norm_std_l2", l2(&self.obs_norm.std())),
+        );
     }
 }
 

@@ -227,6 +227,10 @@ pub struct RunnerState {
 pub struct VecEnvRunner<E> {
     slots: Vec<EnvSlot<E>>,
     workers: usize,
+    /// Observability hub (disabled by default): times the rollout fan-out
+    /// and records per-round pool telemetry. Never consumes RNG, never
+    /// branches collection.
+    recorder: fl_obs::Recorder,
 }
 
 impl<E: Environment + Send> VecEnvRunner<E> {
@@ -258,7 +262,15 @@ impl<E: Environment + Send> VecEnvRunner<E> {
         Ok(VecEnvRunner {
             slots,
             workers: workers.max(1),
+            recorder: fl_obs::Recorder::disabled(),
         })
+    }
+
+    /// Attaches an observability recorder for rollout spans and
+    /// `pool_round` events. Purely additive: collection behaves
+    /// identically with or without it.
+    pub fn set_recorder(&mut self, recorder: fl_obs::Recorder) {
+        self.recorder = recorder;
     }
 
     /// Number of environment instances.
@@ -322,9 +334,15 @@ impl<E: Environment + Send> VecEnvRunner<E> {
         // live agent stays on this thread for the merge.
         let snapshot = agent.clone();
         let items: Vec<&mut EnvSlot<E>> = self.slots.iter_mut().collect();
-        let run = pool::run_indexed(self.workers, items, |env_idx, slot| {
-            collect_chunk(&snapshot, slot, env_idx, steps_per_env)
-        });
+        let run = {
+            let _rollout_span = self.recorder.span("rollout");
+            pool::run_indexed(self.workers, items, |env_idx, slot| {
+                collect_chunk(&snapshot, slot, env_idx, steps_per_env)
+            })
+        };
+        if self.recorder.is_enabled() {
+            self.recorder.emit(run.obs_event("rollout"));
+        }
 
         let mut summary = VecRolloutSummary {
             steps: 0,

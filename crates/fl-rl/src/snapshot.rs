@@ -33,7 +33,6 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// File magic: identifies a fedfreq snapshot and its envelope revision.
@@ -198,29 +197,17 @@ pub fn decode_payload<T: Deserialize>(bytes: &[u8]) -> SnapResult<T> {
 /// Writes `bytes` to `path` atomically: a sibling tmp file is written and
 /// fsynced, then renamed over the destination (rename within one directory
 /// is atomic on POSIX). A crash at any point leaves either the old file or
-/// the new one — never a torn mix. The containing directory is fsynced
-/// best-effort so the rename itself is durable.
+/// the new one — never a torn mix.
+///
+/// The implementation lives in [`fl_obs::atomic_write`] so checkpoints and
+/// observability event logs share a single crash-safety primitive; this
+/// wrapper keeps the historical name and `SnapResult` signature for
+/// existing callers.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> SnapResult<()> {
-    let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| SnapshotError::Io(format!("{}: no file name", path.display())))?;
-    let mut tmp = path.to_path_buf();
-    tmp.set_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
-    {
-        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
-        f.write_all(bytes).map_err(io_err)?;
-        f.sync_all().map_err(io_err)?;
-    }
-    std::fs::rename(&tmp, path).map_err(io_err)?;
-    if let Some(dir) = path.parent() {
-        // Directory fsync makes the rename durable; best-effort because
-        // some filesystems refuse to open directories.
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    fl_obs::atomic_write(path, bytes).map_err(|e| match e {
+        fl_obs::ObsError::Io(m) => SnapshotError::Io(m),
+        other => SnapshotError::Io(other.to_string()),
+    })
 }
 
 /// Exact serialized state of a [`ChaCha8Rng`]: key, stream selector, and

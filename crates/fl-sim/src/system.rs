@@ -60,6 +60,20 @@ pub struct FlSystem {
     devices: Vec<MobileDevice>,
     traces: TraceSet,
     config: FlConfig,
+    obs: SimObs,
+}
+
+/// Observability handles for the iteration engine (all disabled no-ops by
+/// default). Clones share the underlying atomics, so a system cloned into
+/// many environments aggregates its fault tallies in one place.
+#[derive(Debug, Clone, Default)]
+struct SimObs {
+    iterations: fl_obs::Counter,
+    completed: fl_obs::Counter,
+    straggled: fl_obs::Counter,
+    dropped: fl_obs::Counter,
+    failed: fl_obs::Counter,
+    duration_s: fl_obs::Histogram,
 }
 
 impl FlSystem {
@@ -86,7 +100,27 @@ impl FlSystem {
             devices,
             traces,
             config,
+            obs: SimObs::default(),
         })
+    }
+
+    /// Attaches an observability recorder: every iteration bumps fleet
+    /// outcome counters (`sim.device.*`, mirroring the `OutcomeTally`
+    /// statuses) and a round-duration histogram. Counters are atomic adds
+    /// — commutative, so totals are invariant to worker scheduling — and
+    /// recording never alters the physics or consumes RNG.
+    pub fn set_recorder(&mut self, recorder: &fl_obs::Recorder) {
+        self.obs = SimObs {
+            iterations: recorder.counter("sim.iterations"),
+            completed: recorder.counter("sim.device.completed"),
+            straggled: recorder.counter("sim.device.straggled"),
+            dropped: recorder.counter("sim.device.dropped"),
+            failed: recorder.counter("sim.device.failed"),
+            duration_s: recorder.histogram(
+                "sim.round_duration_s",
+                &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            ),
+        };
     }
 
     /// The fleet.
@@ -283,6 +317,16 @@ impl FlSystem {
         for (o, &w) in outcomes.iter_mut().zip(&waited) {
             if o.status != DeviceStatus::Dropped {
                 o.idle_time = t_max - w;
+            }
+        }
+        self.obs.iterations.inc();
+        self.obs.duration_s.observe(t_max);
+        for o in &outcomes {
+            match o.status {
+                DeviceStatus::Completed => self.obs.completed.inc(),
+                DeviceStatus::Straggled => self.obs.straggled.inc(),
+                DeviceStatus::Dropped => self.obs.dropped.inc(),
+                DeviceStatus::Failed => self.obs.failed.inc(),
             }
         }
         Ok(IterationReport {
