@@ -1,0 +1,40 @@
+//! Differential kernel benchmark: every case from
+//! `fl_bench::kernel_perf::ops` timed under both kernel families.
+//!
+//! Running `cargo bench -p fl-bench --bench kernel_bench` prints the
+//! criterion lines, then regenerates `results/kernel_bench.json` — the
+//! committed baseline the `bench_check` binary gates CI against. Under
+//! `cargo test` (which passes `--test`) each case runs once as a smoke test
+//! and the baseline is left untouched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_bench::kernel_perf;
+use fl_nn::KernelKind;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    for mut op in kernel_perf::ops() {
+        let name = op.name.clone();
+        group.bench_function(format!("{name}_blocked"), |b| {
+            b.iter(|| op.run(KernelKind::Blocked))
+        });
+        group.bench_function(format!("{name}_naive"), |b| {
+            b.iter(|| op.run(KernelKind::Naive))
+        });
+    }
+    group.finish();
+
+    // The machine-readable sweep backing the committed baseline. Skipped in
+    // test mode: a once-through smoke run would overwrite real numbers with
+    // garbage.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let report = kernel_perf::measure(Duration::from_millis(200));
+    kernel_perf::print_report(&report);
+    fl_bench::dump_json("kernel_bench.json", &serde_json::to_value(&report));
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! CI perf-regression gate for the blocked kernels.
+//!
+//! Re-measures every `kernel_perf` case and compares the blocked-vs-naive
+//! *speedup ratio* against the committed baseline
+//! (`crates/fl-bench/results/kernel_bench.json`). Ratios are
+//! machine-portable — both families run in the same process — so the gate
+//! works on any CI host. A case fails when its measured speedup drops more
+//! than 25% below the baseline ratio; `matmul_64` additionally carries an
+//! absolute >= 2x floor (the headline claim of the blocked kernels).
+//!
+//! Timing noise is absorbed by retrying the full sweep up to three times;
+//! the gate fails only if every attempt regresses. Run with `--release` —
+//! debug builds measure the optimizer, not the kernels.
+//!
+//! `--write-baseline` regenerates the committed baseline in place.
+
+use fl_bench::kernel_perf::{measure, print_report, KernelReport};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Maximum tolerated drop of a case's speedup relative to baseline.
+const MAX_REGRESSION: f64 = 0.25;
+/// Absolute speedup floor for the headline 64x64 matmul case.
+const MATMUL_64_FLOOR: f64 = 2.0;
+/// Full-sweep attempts before declaring a regression.
+const ATTEMPTS: u32 = 3;
+/// Per-case timing budget.
+const BUDGET: Duration = Duration::from_millis(200);
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results/kernel_bench.json")
+}
+
+fn load_baseline() -> KernelReport {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_check: cannot read baseline {}: {e}\n\
+             regenerate it with: cargo run --release -p fl-bench --bin bench_check -- --write-baseline",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: baseline {} is not valid: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+/// Returns the failures of `measured` against `baseline` (empty = pass).
+fn check(baseline: &KernelReport, measured: &KernelReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in &baseline.cases {
+        let Some(m) = measured.cases.iter().find(|m| m.name == b.name) else {
+            failures.push(format!("case {} missing from measurement", b.name));
+            continue;
+        };
+        let allowed = b.speedup * (1.0 - MAX_REGRESSION);
+        if m.speedup < allowed {
+            failures.push(format!(
+                "{}: speedup {:.2}x fell below {:.2}x (baseline {:.2}x - {}%)",
+                b.name,
+                m.speedup,
+                allowed,
+                b.speedup,
+                (MAX_REGRESSION * 100.0) as u32
+            ));
+        }
+        if b.name == "matmul_64" && m.speedup < MATMUL_64_FLOOR {
+            failures.push(format!(
+                "{}: speedup {:.2}x below the absolute {MATMUL_64_FLOOR}x floor",
+                b.name, m.speedup
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--write-baseline") {
+        let report = measure(BUDGET);
+        print_report(&report);
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        let path = baseline_path();
+        std::fs::create_dir_all(path.parent().expect("baseline path has a parent"))
+            .expect("create results dir");
+        fl_rl::snapshot::atomic_write(&path, text.as_bytes()).expect("write baseline");
+        println!("\n[baseline written to {}]", path.display());
+        return;
+    }
+
+    let baseline = load_baseline();
+    let mut failures = Vec::new();
+    for attempt in 1..=ATTEMPTS {
+        let measured = measure(BUDGET);
+        failures = check(&baseline, &measured);
+        if failures.is_empty() {
+            println!("bench_check: OK (attempt {attempt}/{ATTEMPTS})");
+            print_report(&measured);
+            return;
+        }
+        eprintln!(
+            "bench_check: attempt {attempt}/{ATTEMPTS} regressed:\n  {}",
+            failures.join("\n  ")
+        );
+    }
+    eprintln!(
+        "bench_check: FAIL — blocked-kernel speedup regressed in all \
+         {ATTEMPTS} attempts:\n  {}",
+        failures.join("\n  ")
+    );
+    std::process::exit(1);
+}

@@ -18,6 +18,8 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod kernel_perf;
+
 use fl_ctrl::{
     train_drl, train_drl_opt, train_drl_parallel, train_drl_parallel_opt, ControllerRun,
     DrlController, EnvConfig, ParallelConfig, ParallelTrainOutput, PolicyArch, RunOptions,

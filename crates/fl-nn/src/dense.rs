@@ -79,18 +79,23 @@ impl Dense {
 
     /// Forward pass that caches activations for a later [`Dense::backward`].
     pub fn forward(&mut self, x: &Matrix) -> Result<Matrix> {
-        let mut pre = x.matmul(&self.w)?;
-        pre.add_row_broadcast(&self.b)?;
+        self.forward_owned(x.clone())
+    }
+
+    /// [`Dense::forward`] taking the input by value: the batch is cached
+    /// without an extra clone. This is the path [`crate::Mlp`] threads its
+    /// hidden activations through.
+    pub fn forward_owned(&mut self, x: Matrix) -> Result<Matrix> {
+        let pre = x.matmul_add_bias(&self.w, &self.b)?;
         let out = pre.map(|z| self.activation.apply(z));
-        self.cached_input = Some(x.clone());
+        self.cached_input = Some(x);
         self.cached_pre = Some(pre);
         Ok(out)
     }
 
     /// Stateless forward pass for inference (no caches touched).
     pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
-        let mut pre = x.matmul(&self.w)?;
-        pre.add_row_broadcast(&self.b)?;
+        let mut pre = x.matmul_add_bias(&self.w, &self.b)?;
         pre.map_inplace(|z| self.activation.apply(z));
         Ok(pre)
     }

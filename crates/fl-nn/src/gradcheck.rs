@@ -153,6 +153,71 @@ mod tests {
         assert!(report.passes(1e-4), "{report:?}");
     }
 
+    /// The fused `matmul_add_bias` forward feeds the manual backward pass
+    /// (`dW = x^T dz`, `db = Σ dz`, `dx = dz W^T`): a single-layer network
+    /// is exactly one fused op plus an activation, so finite differences
+    /// over it validate the whole fused forward/backward contract.
+    #[test]
+    fn fused_matmul_add_bias_backward_matches_fd() {
+        for (seed, act) in [(31u64, Activation::Identity), (32, Activation::Tanh)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut net = Mlp::new(&[4, 3], act, act, &mut rng);
+            let (x, y) = data(&mut rng, 6, 4, 3);
+            let report = grad_check_mse(&mut net, &x, &y, 1e-5).unwrap();
+            assert!(report.passes(1e-5), "{act:?}: {report:?}");
+            assert_eq!(report.num_params, 4 * 3 + 3);
+        }
+    }
+
+    /// ReLU hidden activations produce exact zeros, which the blocked
+    /// kernels must *skip* exactly like the reference (the `a == 0.0` rule
+    /// is part of the bit contract). A deep ReLU net grad-checked through
+    /// the fused path exercises that rule on every layer boundary.
+    #[test]
+    fn fused_path_with_exact_zero_activations_gradients_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let mut net = Mlp::new(
+            &[3, 12, 12, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let (x, y) = data(&mut rng, 5, 3, 2);
+        let report = grad_check_mse(&mut net, &x, &y, 1e-6).unwrap();
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    /// Analytic gradients must be bit-identical under both kernel
+    /// families — backward runs through `matmul_tn`/`matmul_nt`, so this
+    /// differentials the gradient path, not just the forward values.
+    #[test]
+    fn gradients_bit_equal_across_kernel_families() {
+        let _guard = crate::kernels::TEST_KERNEL_LOCK.lock().unwrap();
+        let before = crate::kernel_kind();
+        let grads_under = |kind| {
+            crate::set_kernel_kind(kind);
+            let mut rng = ChaCha8Rng::seed_from_u64(34);
+            let mut net = Mlp::new(
+                &[4, 16, 3],
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            );
+            let (x, y) = data(&mut rng, 8, 4, 3);
+            let pred = net.forward(&x);
+            let (_, dl) = crate::loss::mse(&pred, &y).unwrap();
+            net.zero_grad();
+            net.backward(&dl).unwrap();
+            let mut grads = Vec::with_capacity(net.num_params());
+            net.visit_params(|_, g| grads.push(g.to_bits()));
+            grads
+        };
+        let blocked = grads_under(crate::KernelKind::Blocked);
+        let naive = grads_under(crate::KernelKind::Naive);
+        crate::set_kernel_kind(before);
+        assert_eq!(blocked, naive);
+    }
+
     #[test]
     fn grad_check_restores_params() {
         let mut rng = ChaCha8Rng::seed_from_u64(25);

@@ -1,5 +1,6 @@
 //! Row-major `f64` matrix with cache-friendly and parallel multiplication.
 
+use crate::kernels::{self, KernelKind};
 use crate::{NnError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -197,14 +198,21 @@ impl Matrix {
         })
     }
 
-    /// Transpose.
+    /// Transpose. Uses a tile-blocked copy so large matrices do not thrash
+    /// the cache on the strided side; a pure permutation, so the result is
+    /// bit-identical to the element-wise reference copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        kernels::blocked_transpose(&self.data, &mut out.data, self.rows, self.cols);
+        out
+    }
+
+    /// Reference transpose (the original element-wise loop), kept for the
+    /// differential conformance suite.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn naive_transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        kernels::naive_transpose(&self.data, &mut out.data, self.rows, self.cols);
         out
     }
 
@@ -268,7 +276,31 @@ impl Matrix {
     }
 
     /// In-place `self += alpha * other`.
+    ///
+    /// The shape check is hoisted out of the hot loop, which then runs
+    /// 4-wide over bare slices; each element still computes exactly
+    /// `a += alpha * b`, so the result is bit-identical to the element-wise
+    /// reference form (every element is independent).
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        self.check_same_shape(other, "axpy")?;
+        let mut dst = self.data.chunks_exact_mut(4);
+        let mut src = other.data.chunks_exact(4);
+        for (d, s) in (&mut dst).zip(&mut src) {
+            d[0] += alpha * s[0];
+            d[1] += alpha * s[1];
+            d[2] += alpha * s[2];
+            d[3] += alpha * s[3];
+        }
+        for (d, s) in dst.into_remainder().iter_mut().zip(src.remainder()) {
+            *d += alpha * s;
+        }
+        Ok(())
+    }
+
+    /// Reference `axpy` (the original element-wise zip), kept for the
+    /// differential conformance suite.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn naive_axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
         self.check_same_shape(other, "axpy")?;
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
@@ -310,7 +342,34 @@ impl Matrix {
 
     /// Adds a row vector `bias` (length `cols`) to every row. Used for the
     /// dense-layer bias broadcast.
+    ///
+    /// The shape check is hoisted and rows are walked with
+    /// `chunks_exact_mut`, eliminating the per-row slice-index arithmetic;
+    /// per element the op is unchanged (`a += b`), so the result is
+    /// bit-identical to the reference form.
     pub fn add_row_broadcast(&mut self, bias: &[f64]) -> Result<()> {
+        if bias.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: (1, bias.len()),
+            });
+        }
+        if self.cols == 0 {
+            return Ok(());
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (a, b) in row.iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference broadcast (the original row-indexing loop), kept for the
+    /// differential conformance suite.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn naive_add_row_broadcast(&mut self, bias: &[f64]) -> Result<()> {
         if bias.len() != self.cols {
             return Err(NnError::ShapeMismatch {
                 op: "add_row_broadcast",
@@ -370,10 +429,31 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop streams both operands
-    /// sequentially, and splits the row range across scoped threads when the
-    /// multiply-add count exceeds an internal threshold.
+    /// Dispatches to the register-tiled blocked kernel (or, under
+    /// `FL_KERNEL=naive`, the streaming reference kernel — both produce
+    /// bit-identical results; see `kernels`), and splits the row range
+    /// across scoped threads when the multiply-add count exceeds an
+    /// internal threshold.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_impl(other, kernels::kernel_kind(), true)
+    }
+
+    /// [`Matrix::matmul`] with an explicit kernel family, for the
+    /// differential conformance suite and benchmarks. `parallel: false`
+    /// forces the serial kernel regardless of size (single-thread
+    /// measurements).
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_with(&self, other: &Matrix, kind: KernelKind, parallel: bool) -> Result<Matrix> {
+        self.matmul_impl(other, kind, parallel)
+    }
+
+    /// Reference matmul (the original streaming kernel).
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn naive_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_impl(other, KernelKind::Naive, true)
+    }
+
+    fn matmul_impl(&self, other: &Matrix, kind: KernelKind, parallel: bool) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 op: "matmul",
@@ -383,41 +463,117 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let flops = m * k * n;
-        if flops >= PAR_FLOP_THRESHOLD {
-            Self::matmul_parallel(&self.data, &other.data, &mut out.data, m, k, n);
+        let serial = serial_matmul_kernel(kind);
+        if parallel && m * k * n >= PAR_FLOP_THRESHOLD {
+            Self::row_split_parallel(&self.data, &mut out.data, m, k, n, |a_chunk, out_chunk| {
+                serial(a_chunk, &other.data, out_chunk, k, n)
+            });
         } else {
-            Self::matmul_serial(&self.data, &other.data, &mut out.data, k, n);
+            serial(&self.data, &other.data, &mut out.data, k, n);
         }
         Ok(out)
     }
 
-    /// Serial i-k-j kernel over a row-range of the output.
-    fn matmul_serial(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
-        let rows = out.len() / n.max(1);
-        for i in 0..rows {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+    /// Fused `self * other + bias` (bias broadcast across rows): the dense
+    /// forward pass in one sweep, keeping each output tile in registers
+    /// between the matmul sum and the bias add. Bit-identical to
+    /// `matmul` followed by `add_row_broadcast` — per element, both compute
+    /// the full k-sum first and add the bias term last.
+    pub fn matmul_add_bias(&self, other: &Matrix, bias: &[f64]) -> Result<Matrix> {
+        self.matmul_add_bias_impl(other, bias, kernels::kernel_kind())
+    }
+
+    /// [`Matrix::matmul_add_bias`] with an explicit kernel family.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_add_bias_with(
+        &self,
+        other: &Matrix,
+        bias: &[f64],
+        kind: KernelKind,
+    ) -> Result<Matrix> {
+        self.matmul_add_bias_impl(other, bias, kind)
+    }
+
+    fn matmul_add_bias_impl(
+        &self,
+        other: &Matrix,
+        bias: &[f64],
+        kind: KernelKind,
+    ) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_add_bias",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        if bias.len() != other.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_add_bias",
+                lhs: other.shape(),
+                rhs: (1, bias.len()),
+            });
+        }
+        match kind {
+            KernelKind::Blocked => {
+                let (m, k, n) = (self.rows, self.cols, other.cols);
+                let mut out = Matrix::zeros(m, n);
+                if m * k * n >= PAR_FLOP_THRESHOLD {
+                    Self::row_split_parallel(
+                        &self.data,
+                        &mut out.data,
+                        m,
+                        k,
+                        n,
+                        |a_chunk, out_chunk| {
+                            kernels::blocked_matmul_bias(
+                                a_chunk,
+                                &other.data,
+                                bias,
+                                out_chunk,
+                                k,
+                                n,
+                            )
+                        },
+                    );
+                } else {
+                    kernels::blocked_matmul_bias(
+                        &self.data,
+                        &other.data,
+                        bias,
+                        &mut out.data,
+                        self.cols,
+                        other.cols,
+                    );
                 }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
+                Ok(out)
+            }
+            // The reference path is the original unfused composition.
+            KernelKind::Naive => {
+                let mut out = self.matmul_impl(other, kind, true)?;
+                out.add_row_broadcast(bias)?;
+                Ok(out)
             }
         }
     }
 
-    /// Parallel kernel: chunks output rows across crossbeam scoped threads.
-    fn matmul_parallel(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    /// Splits output rows into contiguous chunks across crossbeam scoped
+    /// threads; each chunk runs `serial` on its slice pair. Row splitting
+    /// never changes any element's accumulation order.
+    fn row_split_parallel(
+        a: &[f64],
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        serial: impl Fn(&[f64], &mut [f64]) + Sync,
+    ) {
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
             .min(m.max(1));
         if threads <= 1 {
-            Self::matmul_serial(a, b, out, k, n);
+            serial(a, out);
             return;
         }
         let rows_per = m.div_ceil(threads);
@@ -426,9 +582,8 @@ impl Matrix {
                 let a_start = chunk_idx * rows_per;
                 let a_rows = out_chunk.len() / n;
                 let a_chunk = &a[a_start * k..(a_start + a_rows) * k];
-                scope.spawn(move |_| {
-                    Self::matmul_serial(a_chunk, b, out_chunk, k, n);
-                });
+                let serial = &serial;
+                scope.spawn(move |_| serial(a_chunk, out_chunk));
             }
         })
         .expect("matmul worker thread panicked");
@@ -439,6 +594,22 @@ impl Matrix {
     /// Shapes: `self` is `k x m`, `other` is `k x n`, result is `m x n`.
     /// This is the shape needed for the weight gradient `x^T * dy`.
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_tn_impl(other, kernels::kernel_kind())
+    }
+
+    /// [`Matrix::matmul_tn`] with an explicit kernel family.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_tn_with(&self, other: &Matrix, kind: KernelKind) -> Result<Matrix> {
+        self.matmul_tn_impl(other, kind)
+    }
+
+    /// Reference `self^T * other` (the original k-outer kernel).
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn naive_matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_tn_impl(other, KernelKind::Naive)
+    }
+
+    fn matmul_tn_impl(&self, other: &Matrix, kind: KernelKind) -> Result<Matrix> {
         if self.rows != other.rows {
             return Err(NnError::ShapeMismatch {
                 op: "matmul_tn",
@@ -448,18 +619,11 @@ impl Matrix {
         }
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * bv;
-                }
+        match kind {
+            KernelKind::Blocked => {
+                kernels::blocked_matmul_tn(&self.data, &other.data, &mut out.data, k, m, n)
             }
+            KernelKind::Naive => naive_matmul_tn(&self.data, &other.data, &mut out.data, k, m, n),
         }
         Ok(out)
     }
@@ -469,6 +633,22 @@ impl Matrix {
     /// Shapes: `self` is `m x k`, `other` is `n x k`, result is `m x n`.
     /// This is the shape needed for the input gradient `dy * W^T`.
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_nt_impl(other, kernels::kernel_kind())
+    }
+
+    /// [`Matrix::matmul_nt`] with an explicit kernel family.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_nt_with(&self, other: &Matrix, kind: KernelKind) -> Result<Matrix> {
+        self.matmul_nt_impl(other, kind)
+    }
+
+    /// Reference `self * other^T` (the original dot-product kernel).
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn naive_matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        self.matmul_nt_impl(other, KernelKind::Naive)
+    }
+
+    fn matmul_nt_impl(&self, other: &Matrix, kind: KernelKind) -> Result<Matrix> {
         if self.cols != other.cols {
             return Err(NnError::ShapeMismatch {
                 op: "matmul_nt",
@@ -478,20 +658,46 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *o = acc;
+        match kind {
+            KernelKind::Blocked => {
+                kernels::blocked_matmul_nt(&self.data, &other.data, &mut out.data, k, n)
             }
+            KernelKind::Naive => naive_matmul_nt(&self.data, &other.data, &mut out.data, k, n),
         }
         Ok(out)
     }
+}
+
+/// Picks the serial row-range matmul kernel for `kind`. When the
+/// reference kernels are compiled out, `kernel_kind()` can never resolve
+/// to `Naive`, so the fallback arm is unreachable in practice.
+fn serial_matmul_kernel(kind: KernelKind) -> fn(&[f64], &[f64], &mut [f64], usize, usize) {
+    match kind {
+        KernelKind::Blocked => kernels::blocked_matmul,
+        KernelKind::Naive => naive_matmul,
+    }
+}
+
+#[cfg(any(test, feature = "reference-kernels"))]
+use kernels::{naive_matmul, naive_matmul_nt, naive_matmul_tn};
+
+/// Stub used when the reference kernels are compiled out: selection
+/// guards in `kernels` guarantee these are never reached.
+#[cfg(not(any(test, feature = "reference-kernels")))]
+fn naive_matmul(_: &[f64], _: &[f64], _: &mut [f64], _: usize, _: usize) {
+    unreachable!("naive kernels are compiled out; kernel selection falls back to blocked")
+}
+
+/// See [`naive_matmul`] (stub).
+#[cfg(not(any(test, feature = "reference-kernels")))]
+fn naive_matmul_tn(_: &[f64], _: &[f64], _: &mut [f64], _: usize, _: usize, _: usize) {
+    unreachable!("naive kernels are compiled out; kernel selection falls back to blocked")
+}
+
+/// See [`naive_matmul`] (stub).
+#[cfg(not(any(test, feature = "reference-kernels")))]
+fn naive_matmul_nt(_: &[f64], _: &[f64], _: &mut [f64], _: usize, _: usize) {
+    unreachable!("naive kernels are compiled out; kernel selection falls back to blocked")
 }
 
 #[cfg(test)]
@@ -570,14 +776,37 @@ mod tests {
 
     #[test]
     fn parallel_matmul_matches_serial() {
-        // Big enough to cross PAR_FLOP_THRESHOLD (128^3 = 2^21).
+        // Big enough to cross PAR_FLOP_THRESHOLD (128^3 = 2^21). Row
+        // splitting must not change a single bit, for either kernel family.
         let n = 128;
         let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
         let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f64 - 5.0);
         let par = a.matmul(&b).unwrap();
-        let mut serial = Matrix::zeros(n, n);
-        Matrix::matmul_serial(a.data(), b.data(), serial.data_mut(), n, n);
-        assert!(approx_eq(&par, &serial, 1e-12));
+        for kind in [KernelKind::Blocked, KernelKind::Naive] {
+            let serial = a.matmul_with(&b, kind, false).unwrap();
+            assert_eq!(par, serial, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_add_bias_matches_unfused() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (16, 8, 9), (2, 64, 17)] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 19) as f64 * 0.25 - 2.0);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 11) % 17) as f64 * 0.5 - 4.0);
+            let bias: Vec<f64> = (0..n).map(|j| j as f64 * 0.125 - 1.0).collect();
+            let mut unfused = a.matmul(&b).unwrap();
+            unfused.add_row_broadcast(&bias).unwrap();
+            let fused = a.matmul_add_bias(&b, &bias).unwrap();
+            assert_eq!(fused, unfused, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_add_bias_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        assert!(a.matmul_add_bias(&b, &[0.0; 3]).is_err());
+        assert!(Matrix::zeros(2, 2).matmul_add_bias(&b, &[0.0; 4]).is_err());
     }
 
     #[test]

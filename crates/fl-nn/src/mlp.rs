@@ -94,11 +94,18 @@ impl Mlp {
             .expect("MLP forward failed: input width must equal in_dim")
     }
 
-    /// Fallible training forward pass.
+    /// Fallible training forward pass. The input is cloned once into the
+    /// first layer's cache; every hidden activation is moved, not cloned,
+    /// into the next layer via [`Dense::forward_owned`] (the fused
+    /// matmul-plus-bias path).
     pub fn try_forward(&mut self, x: &Matrix) -> Result<Matrix> {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(&h)?;
+        let (first, rest) = self
+            .layers
+            .split_first_mut()
+            .ok_or_else(|| NnError::InvalidArgument("forward on an empty MLP".to_string()))?;
+        let mut h = first.forward(x)?;
+        for layer in rest {
+            h = layer.forward_owned(h)?;
         }
         Ok(h)
     }
@@ -106,8 +113,12 @@ impl Mlp {
     /// Stateless inference pass (no gradient caches written). Safe to call
     /// from multiple threads on `&self`.
     pub fn infer(&self, x: &Matrix) -> Result<Matrix> {
-        let mut h = x.clone();
-        for layer in &self.layers {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .ok_or_else(|| NnError::InvalidArgument("infer on an empty MLP".to_string()))?;
+        let mut h = first.infer(x)?;
+        for layer in rest {
             h = layer.infer(&h)?;
         }
         Ok(h)

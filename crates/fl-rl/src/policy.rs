@@ -232,8 +232,12 @@ impl GaussianPolicy {
     }
 
     /// Reshapes the shared net's `(n*N) x 1` output into `n x N` means.
-    fn fold_shared_output(flat: &Matrix, n: usize, n_devices: usize) -> Matrix {
-        Matrix::from_fn(n, n_devices, |r, d| flat.get(r * n_devices + d, 0))
+    /// Row-major layout makes this a pure reinterpretation of the flat
+    /// data — no per-element gathering.
+    fn fold_shared_output(flat: Matrix, n: usize, n_devices: usize) -> Matrix {
+        debug_assert_eq!(flat.shape(), (n * n_devices, 1));
+        Matrix::from_vec(n, n_devices, flat.into_data())
+            .expect("(n*N) x 1 output reshapes to n x N")
     }
 
     /// Inference-path mean batch for any architecture.
@@ -248,7 +252,7 @@ impl GaussianPolicy {
             } => {
                 let input = Self::shared_input(obs, *n_devices, *feat_dim, statics)?;
                 let flat = net.infer(&input)?;
-                Ok(Self::fold_shared_output(&flat, obs.rows(), *n_devices))
+                Ok(Self::fold_shared_output(flat, obs.rows(), *n_devices))
             }
         }
     }
@@ -349,7 +353,7 @@ impl GaussianPolicy {
             } => {
                 let input = Self::shared_input(obs, *n_devices, *feat_dim, statics)?;
                 let flat = net.try_forward(&input)?;
-                Ok(Self::fold_shared_output(&flat, obs.rows(), *n_devices))
+                Ok(Self::fold_shared_output(flat, obs.rows(), *n_devices))
             }
         }
     }
@@ -362,7 +366,6 @@ impl GaussianPolicy {
     /// `∂logp/∂lnσ_d = ((a_d − μ_d)²/σ_d² − 1)`.
     /// Mean-net gradients accumulate via backprop; log-std gradients
     /// accumulate into an internal buffer read by the optimizer.
-    #[allow(clippy::needless_range_loop)] // lockstep over three matrices
     pub fn accumulate_logprob_grads(
         &mut self,
         means: &Matrix,
@@ -378,12 +381,14 @@ impl GaussianPolicy {
         let d = self.action_dim();
         let std = self.std();
         let mut dmean = Matrix::zeros(n, d);
-        for i in 0..n {
-            let coef = dl_dlogp[i];
+        for (i, &coef) in dl_dlogp.iter().enumerate() {
+            let arow = actions.row(i);
+            let mrow = means.row(i);
+            let drow = dmean.row_mut(i);
             for j in 0..d {
-                let diff = actions.get(i, j) - means.get(i, j);
+                let diff = arow[j] - mrow[j];
                 let var = std[j] * std[j];
-                dmean.set(i, j, coef * diff / var);
+                drow[j] = coef * diff / var;
                 self.log_std_grad[j] += coef * (diff * diff / var - 1.0);
             }
         }
@@ -393,9 +398,11 @@ impl GaussianPolicy {
             }
             MeanArch::Shared { net, n_devices, .. } => {
                 // Unfold the n x N mean gradients back into the (n*N) x 1
-                // layout the shared net's cached forward batch used.
+                // layout the shared net's cached forward batch used — a
+                // row-major reshape, so the flat data is reused as-is.
                 let nd = *n_devices;
-                let flat = Matrix::from_fn(n * nd, 1, |r, _| dmean.get(r / nd, r % nd));
+                let flat = Matrix::from_vec(n * nd, 1, dmean.into_data())
+                    .expect("n x N reshapes to (n*N) x 1");
                 net.backward(&flat)?;
             }
         }

@@ -585,6 +585,7 @@ impl PpoAgent {
                         let bs_f = chunk.len().max(1) as f64;
                         let mut l = 0.0;
                         let mut grad = Matrix::zeros(pred.rows(), 1);
+                        let gdata = grad.data_mut();
                         for (i, &gi) in chunk.iter().enumerate() {
                             let v = pred.get(i, 0);
                             let vo = values_old[gi];
@@ -594,7 +595,7 @@ impl PpoAgent {
                             let l2 = (vc - ret) * (vc - ret);
                             if l1 >= l2 {
                                 l += l1;
-                                grad.set(i, 0, 2.0 * (v - ret) / bs_f);
+                                gdata[i] = 2.0 * (v - ret) / bs_f;
                             } else {
                                 // Clipped branch dominates; if the clamp is
                                 // binding the gradient through v vanishes.

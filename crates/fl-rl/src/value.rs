@@ -44,10 +44,13 @@ impl ValueNet {
         Ok(out.get(0, 0))
     }
 
-    /// Values of an observation batch (inference path).
+    /// Values of an observation batch (inference path). The critic head is
+    /// a single column, so the network output *is* the value vector — moved
+    /// out without the strided column copy.
     pub fn predict_batch(&self, obs: &Matrix) -> Result<Vec<f64>> {
         let out = self.net.infer(obs)?;
-        Ok(out.col(0))
+        debug_assert_eq!(out.cols(), 1);
+        Ok(out.into_data())
     }
 
     /// Training forward pass (caches activations for backprop).

@@ -1,0 +1,451 @@
+//! Differential kernel-conformance suite: the blocked fast kernels must be
+//! **bit-identical** to the streaming reference kernels on every shape and
+//! every input — including NaN/Inf/signed-zero (NaN payload bits excepted;
+//! see [`bits`]) — and swapping kernel families mid-training (even across a
+//! kill/resume boundary) must not move a single bit of a training run.
+//!
+//! Strategy: every linear-algebra kernel pair (`matmul`, `matmul_tn`,
+//! `matmul_nt`, fused `matmul_add_bias`, `transpose`, `axpy`,
+//! `add_row_broadcast`) is compared with `f64::to_bits` equality over
+//! proptest-drawn shapes (degenerate `0xN` / `Nx0` / `1xN` included) and
+//! special-value injections; golden hand-computed products pin absolute
+//! values; and full `train_drl_parallel` runs are fingerprinted under both
+//! `KernelKind`s at 1 and 4 workers, with and without fault injection.
+
+use fl_ctrl::{
+    build_system, train_drl_parallel, train_drl_parallel_opt, CheckpointOptions, EnvConfig,
+    ParallelConfig, RunOptions, TrainConfig, TrainOutput,
+};
+use fl_net::synth::Profile;
+use fl_nn::{KernelKind, Matrix};
+use fl_rl::PpoConfig;
+use fl_sim::{FaultModel, FlConfig, FlSystem};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global kernel selection. The
+/// differential property tests below use the explicit `*_with` APIs and are
+/// unaffected; only the end-to-end fingerprint tests contend here.
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_kernel() -> std::sync::MutexGuard<'static, ()> {
+    // A failed assertion in another test poisons the mutex; the lock only
+    // serializes access, so the poison flag itself is irrelevant.
+    KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shape + per-element bits: NaN-safe equality for matrices.
+///
+/// NaN *payloads* are canonicalized before comparison: IEEE-754 leaves
+/// payload propagation unspecified, and LLVM freely commutes `fadd`/`fmul`
+/// operands at -O3, so two compilations of the *same* source can pick
+/// different payload/sign bits when both addends are NaN (SSE keeps the
+/// first operand's payload). The contract is therefore: NaN-ness itself
+/// must agree per element, and every non-NaN value must match to the bit.
+fn bits(m: &Matrix) -> (usize, usize, Vec<u64>) {
+    (
+        m.rows(),
+        m.cols(),
+        m.data()
+            .iter()
+            .map(|v| {
+                if v.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    v.to_bits()
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Draws a dimension favoring small and degenerate shapes but reaching 64
+/// (the exact parallel-dispatch threshold for a cubic matmul).
+fn dim(rng: &mut ChaCha8Rng) -> usize {
+    match rng.gen_range(0..10u32) {
+        0 => 0,
+        1 => 1,
+        2..=7 => rng.gen_range(2..=24),
+        _ => rng.gen_range(25..=64),
+    }
+}
+
+const SPECIALS: [f64; 5] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0];
+
+/// Random matrix; with `specials`, ~15% of entries are NaN/±Inf/±0 to
+/// exercise the IEEE edge semantics of the zero-skip rule.
+fn rand_matrix(rng: &mut ChaCha8Rng, r: usize, c: usize, specials: bool) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| {
+        if specials && rng.gen_range(0..100u32) < 15 {
+            SPECIALS[rng.gen_range(0..SPECIALS.len())]
+        } else {
+            rng.gen_range(-3.0..3.0)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `matmul`: blocked == naive, bit for bit, serial and (row-split)
+    /// parallel, on arbitrary shapes with special values.
+    #[test]
+    fn prop_matmul_families_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (m, k, n) = (dim(&mut rng), dim(&mut rng), dim(&mut rng));
+        let specials = seed % 2 == 0;
+        let a = rand_matrix(&mut rng, m, k, specials);
+        let b = rand_matrix(&mut rng, k, n, specials);
+        let naive = a.matmul_with(&b, KernelKind::Naive, false).unwrap();
+        for parallel in [false, true] {
+            let blocked = a.matmul_with(&b, KernelKind::Blocked, parallel).unwrap();
+            prop_assert!(bits(&blocked) == bits(&naive), "{}x{}x{} specials={} parallel={}", m, k, n, specials, parallel
+            );
+        }
+    }
+
+    /// Fused `matmul_add_bias`: bit-identical to the unfused
+    /// `matmul` + `add_row_broadcast` composition, in both families.
+    #[test]
+    fn prop_fused_bias_families_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (m, k, n) = (dim(&mut rng), dim(&mut rng), dim(&mut rng));
+        let specials = seed % 2 == 0;
+        let a = rand_matrix(&mut rng, m, k, specials);
+        let b = rand_matrix(&mut rng, k, n, specials);
+        let bias = rand_matrix(&mut rng, 1, n, specials).into_data();
+        let mut unfused = a.matmul_with(&b, KernelKind::Naive, false).unwrap();
+        unfused.naive_add_row_broadcast(&bias).unwrap();
+        for kind in [KernelKind::Blocked, KernelKind::Naive] {
+            let fused = a.matmul_add_bias_with(&b, &bias, kind).unwrap();
+            prop_assert!(bits(&fused) == bits(&unfused), "{}x{}x{} specials={} {:?}", m, k, n, specials, kind
+            );
+        }
+    }
+
+    /// `matmul_tn`: blocked == naive == explicit-transpose matmul, bitwise.
+    /// The last leg pins the contract that `a^T * b` computed without
+    /// materializing `a^T` accumulates in the same order as the
+    /// materialized form.
+    #[test]
+    fn prop_matmul_tn_families_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (k, m, n) = (dim(&mut rng), dim(&mut rng), dim(&mut rng));
+        let specials = seed % 2 == 0;
+        let a = rand_matrix(&mut rng, k, m, specials);
+        let b = rand_matrix(&mut rng, k, n, specials);
+        let naive = a.naive_matmul_tn(&b).unwrap();
+        let blocked = a.matmul_tn_with(&b, KernelKind::Blocked).unwrap();
+        prop_assert!(bits(&blocked) == bits(&naive), "{}x{}x{} specials={}", k, m, n, specials);
+        let via_transpose = a.transpose().matmul_with(&b, KernelKind::Blocked, false).unwrap();
+        prop_assert!(bits(&blocked) == bits(&via_transpose), "tn vs transpose-matmul");
+    }
+
+    /// `matmul_nt`: blocked == naive, bitwise.
+    #[test]
+    fn prop_matmul_nt_families_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (m, k, n) = (dim(&mut rng), dim(&mut rng), dim(&mut rng));
+        let specials = seed % 2 == 0;
+        let a = rand_matrix(&mut rng, m, k, specials);
+        let b = rand_matrix(&mut rng, n, k, specials);
+        let naive = a.naive_matmul_nt(&b).unwrap();
+        let blocked = a.matmul_nt_with(&b, KernelKind::Blocked).unwrap();
+        prop_assert!(bits(&blocked) == bits(&naive), "{}x{}x{} specials={}", m, k, n, specials);
+    }
+
+    /// Blocked `transpose`: a pure permutation — involution restores the
+    /// exact bits, and it agrees with the element-wise reference copy.
+    #[test]
+    fn prop_transpose_blocked_is_exact_permutation(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (m, n) = (dim(&mut rng), dim(&mut rng));
+        let a = rand_matrix(&mut rng, m, n, true);
+        prop_assert!(bits(&a.transpose()) == bits(&a.naive_transpose()), "{}x{}", m, n);
+        prop_assert!(bits(&a.transpose().transpose()) == bits(&a), "involution {}x{}", m, n);
+    }
+
+    /// Unrolled `axpy` and `chunks_exact` `add_row_broadcast`: bit-identical
+    /// to their element-wise reference forms on every shape and input.
+    #[test]
+    fn prop_axpy_and_broadcast_match_reference(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (m, n) = (dim(&mut rng), dim(&mut rng));
+        let alpha = if seed % 4 == 0 {
+            SPECIALS[rng.gen_range(0..SPECIALS.len())]
+        } else {
+            rng.gen_range(-2.0..2.0)
+        };
+        let base = rand_matrix(&mut rng, m, n, true);
+        let other = rand_matrix(&mut rng, m, n, true);
+        let bias = rand_matrix(&mut rng, 1, n, true).into_data();
+
+        let mut fast = base.clone();
+        fast.axpy(alpha, &other).unwrap();
+        let mut reference = base.clone();
+        reference.naive_axpy(alpha, &other).unwrap();
+        prop_assert!(bits(&fast) == bits(&reference), "axpy {}x{} alpha={}", m, n, alpha);
+
+        let mut fast = base.clone();
+        fast.add_row_broadcast(&bias).unwrap();
+        let mut reference = base.clone();
+        reference.naive_add_row_broadcast(&bias).unwrap();
+        prop_assert!(bits(&fast) == bits(&reference), "broadcast {}x{}", m, n);
+    }
+}
+
+/// The zero-skip rule is *semantics*, not an optimization: a literal `0.0`
+/// in the left operand suppresses its term entirely, so `0 * Inf` never
+/// manufactures a NaN — in either family, identically.
+#[test]
+fn zero_skip_semantics_are_identical_across_families() {
+    let a = Matrix::from_vec(1, 2, vec![0.0, 2.0]).unwrap();
+    let b = Matrix::from_vec(2, 1, vec![f64::INFINITY, 3.0]).unwrap();
+    for parallel in [false, true] {
+        let blocked = a.matmul_with(&b, KernelKind::Blocked, parallel).unwrap();
+        assert_eq!(blocked.get(0, 0), 6.0, "0*Inf term must be skipped");
+    }
+    let naive = a.matmul_with(&b, KernelKind::Naive, false).unwrap();
+    assert_eq!(naive.get(0, 0), 6.0);
+
+    // The skip is on the left operand only: Inf on the left with 0.0 on the
+    // right *does* produce NaN, in both families.
+    let a = Matrix::from_vec(1, 1, vec![f64::INFINITY]).unwrap();
+    let b = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
+    let blocked = a.matmul_with(&b, KernelKind::Blocked, false).unwrap();
+    let naive = a.matmul_with(&b, KernelKind::Naive, false).unwrap();
+    assert!(blocked.get(0, 0).is_nan());
+    assert_eq!(bits(&blocked), bits(&naive));
+
+    // Signed zero: an all-zero (skipped) row yields the +0.0 of the zeroed
+    // output buffer, never -0.0, in both families.
+    let a = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
+    let b = Matrix::from_vec(1, 1, vec![-0.0]).unwrap();
+    let blocked = a.matmul_with(&b, KernelKind::Blocked, false).unwrap();
+    let naive = a.matmul_with(&b, KernelKind::Naive, false).unwrap();
+    assert_eq!(blocked.get(0, 0).to_bits(), 0.0f64.to_bits());
+    assert_eq!(bits(&blocked), bits(&naive));
+}
+
+/// Hand-computed golden products: exact integer-valued f64 constants, no
+/// tolerance. Both kernel families must hit them exactly.
+#[test]
+fn golden_matmul_and_fused_bias() {
+    let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+    let b = Matrix::from_vec(2, 3, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+    let expected = [27.0, 30.0, 33.0, 61.0, 68.0, 75.0, 95.0, 106.0, 117.0];
+    let bias = [0.5, -1.5, 2.5];
+    let expected_biased = [
+        27.5, 28.5, 35.5, //
+        61.5, 66.5, 77.5, //
+        95.5, 104.5, 119.5,
+    ];
+    for kind in [KernelKind::Blocked, KernelKind::Naive] {
+        let c = a.matmul_with(&b, kind, false).unwrap();
+        assert_eq!(c.data(), &expected, "{kind:?}");
+        let cb = a.matmul_add_bias_with(&b, &bias, kind).unwrap();
+        assert_eq!(cb.data(), &expected_biased, "{kind:?} fused");
+    }
+}
+
+/// Golden `matmul_tn` / `matmul_nt` pair on the same left operand.
+#[test]
+fn golden_matmul_tn_nt() {
+    let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+
+    // a^T (3x2) * b (2x2)
+    let b = Matrix::from_vec(2, 2, vec![7.0, 8.0, 9.0, 10.0]).unwrap();
+    let expected_tn = [43.0, 48.0, 59.0, 66.0, 75.0, 84.0];
+
+    // a (2x3) * c^T (3x2)
+    let c = Matrix::from_vec(2, 3, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+    let expected_nt = [50.0, 68.0, 122.0, 167.0];
+
+    for kind in [KernelKind::Blocked, KernelKind::Naive] {
+        assert_eq!(
+            a.matmul_tn_with(&b, kind).unwrap().data(),
+            &expected_tn,
+            "{kind:?} tn"
+        );
+        assert_eq!(
+            a.matmul_nt_with(&c, kind).unwrap().data(),
+            &expected_nt,
+            "{kind:?} nt"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: whole training runs are kernel-family invariant.
+// ---------------------------------------------------------------------------
+
+fn system(seed: u64) -> FlSystem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    build_system(
+        2,
+        2,
+        Profile::Walking4G,
+        1200,
+        FlConfig::default(),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn quick_config(episodes: usize, faults: bool) -> TrainConfig {
+    TrainConfig {
+        episodes,
+        ppo: PpoConfig {
+            hidden: vec![16],
+            buffer_capacity: 64,
+            minibatch_size: 32,
+            epochs: 4,
+            actor_lr: 1e-3,
+            critic_lr: 3e-3,
+            target_kl: None,
+            ..PpoConfig::default()
+        },
+        env: EnvConfig {
+            episode_len: 8,
+            history_len: 3,
+            faults: faults.then(|| FaultModel::chaos(0.2, 0.2, Some(120.0))),
+            ..EnvConfig::default()
+        },
+        arch: fl_ctrl::PolicyArch::Joint,
+        reward_scale: 0.05,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("fl-kernel-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bit-exact run fingerprint: every episode-stat field as bits plus the
+/// fully serialized agent (parameters, optimizer moments, normalizers).
+fn fingerprint(out: &TrainOutput) -> (Vec<[u64; 6]>, String) {
+    let eps = out
+        .episodes
+        .iter()
+        .map(|e| {
+            [
+                e.episode as u64,
+                e.mean_cost.to_bits(),
+                e.total_reward.to_bits(),
+                e.policy_loss.to_bits(),
+                e.value_loss.to_bits(),
+                e.updates_so_far as u64,
+            ]
+        })
+        .collect();
+    (eps, out.agent.to_json().unwrap())
+}
+
+fn run_under(
+    kind: KernelKind,
+    sys: &FlSystem,
+    config: &TrainConfig,
+    workers: usize,
+) -> (Vec<[u64; 6]>, String) {
+    assert_eq!(fl_nn::set_kernel_kind(kind), kind);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let par = ParallelConfig { n_envs: 4, workers };
+    fingerprint(
+        &train_drl_parallel(sys, config, &par, &mut rng)
+            .unwrap()
+            .output,
+    )
+}
+
+/// The headline contract: a full parallel PPO training run — rollouts,
+/// updates, normalizers, fault injection and all — produces bit-identical
+/// episode stats and a bit-identical final agent under the blocked and
+/// naive kernels, at every worker count.
+#[test]
+fn training_is_bit_identical_across_kernel_families() {
+    assert!(fl_nn::naive_kernels_available());
+    let _guard = lock_kernel();
+    let before = fl_nn::kernel_kind();
+    let sys = system(1);
+    for faults in [false, true] {
+        let config = quick_config(12, faults);
+        let reference = run_under(KernelKind::Blocked, &sys, &config, 1);
+        assert_eq!(reference.0.len(), 12);
+        for (kind, workers) in [
+            (KernelKind::Blocked, 4),
+            (KernelKind::Naive, 1),
+            (KernelKind::Naive, 4),
+        ] {
+            let got = run_under(kind, &sys, &config, workers);
+            assert_eq!(
+                got, reference,
+                "faults={faults} {kind:?} workers={workers} diverged from blocked/1-worker"
+            );
+        }
+    }
+    fl_nn::set_kernel_kind(before);
+}
+
+/// Kernel invariance composes with crash-safe resume: checkpoint a run
+/// under the blocked kernels, kill it, resume it under the *naive* kernels,
+/// and the completed run still matches the uninterrupted blocked reference
+/// bit for bit.
+#[test]
+fn resume_across_kernel_switch_is_bit_identical() {
+    let _guard = lock_kernel();
+    let before = fl_nn::kernel_kind();
+    let sys = system(2);
+    let config = quick_config(12, false);
+    let par = ParallelConfig {
+        n_envs: 4,
+        workers: 2,
+    };
+
+    let reference = {
+        assert_eq!(
+            fl_nn::set_kernel_kind(KernelKind::Blocked),
+            KernelKind::Blocked
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        fingerprint(
+            &train_drl_parallel(&sys, &config, &par, &mut rng)
+                .unwrap()
+                .output,
+        )
+    };
+
+    let dir = temp_dir("switch");
+    let ckpt = |stop: Option<usize>| RunOptions {
+        checkpoint: Some(CheckpointOptions {
+            dir: dir.clone(),
+            every_episodes: 3,
+            resume: true,
+        }),
+        stop_after_episodes: stop,
+        ..RunOptions::default()
+    };
+
+    // First half under the blocked kernels...
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let first = train_drl_parallel_opt(&sys, &config, &par, &mut rng, &ckpt(Some(6))).unwrap();
+    assert!(first.output.episodes.len() < 12, "should be interrupted");
+
+    // ...resumed to completion under the naive kernels.
+    assert_eq!(fl_nn::set_kernel_kind(KernelKind::Naive), KernelKind::Naive);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let resumed = train_drl_parallel_opt(&sys, &config, &par, &mut rng, &ckpt(None)).unwrap();
+    fl_nn::set_kernel_kind(before);
+
+    assert_eq!(
+        fingerprint(&resumed.output),
+        reference,
+        "kernel switch across a kill/resume boundary changed the run"
+    );
+}
