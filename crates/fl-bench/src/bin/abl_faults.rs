@@ -24,6 +24,7 @@
 //! (training events when `--ckpt` is active, sweep telemetry always) to
 //! `DIR/run.jsonl`.
 
+use fl_bench::args::ParsedArgs;
 use fl_bench::{dump_json_obs, obs_recorder, workers_from_env_obs, Scenario};
 use fl_ctrl::{
     compare_controllers_faulty, CheckpointOptions, FrequencyController, HeuristicController,
@@ -49,38 +50,12 @@ const GRID: [(f64, f64); 6] = [
 const TIMEOUT_S: f64 = 45.0;
 
 fn main() {
-    let mut positional: Vec<String> = Vec::new();
-    let mut ckpt: Option<PathBuf> = None;
-    let mut kill_after: Option<f64> = None;
-    let mut obs_dir: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--ckpt" => {
-                ckpt = Some(PathBuf::from(
-                    args.next().expect("--ckpt needs a directory"),
-                ))
-            }
-            "--kill-after" => {
-                let frac: f64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--kill-after needs a fraction in (0, 1)");
-                assert!(frac > 0.0 && frac < 1.0, "--kill-after must be in (0, 1)");
-                kill_after = Some(frac);
-            }
-            "--obs" => obs_dir = Some(PathBuf::from(args.next().expect("--obs needs a directory"))),
-            _ => positional.push(a),
-        }
-    }
-    let episodes: usize = positional
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
-    let iterations: usize = positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150);
+    let cli = ParsedArgs::parse(&["--ckpt", "--obs", "--kill-after"], &[]);
+    let ckpt: Option<PathBuf> = cli.path("--ckpt");
+    let obs_dir: Option<PathBuf> = cli.path("--obs");
+    let kill_after: Option<f64> = cli.fraction_01("--kill-after");
+    let episodes: usize = cli.positional_or(0, 400);
+    let iterations: usize = cli.positional_or(1, 150);
     let rec = obs_recorder(obs_dir.as_deref(), "run.jsonl");
     let workers = workers_from_env_obs(&rec);
 

@@ -26,6 +26,7 @@
 //! `FL_WORKERS` fan-out never interleaves a file), sweep-level telemetry
 //! in `DIR/run.jsonl`. Inspect with `obs_report DIR/seed-0.jsonl`.
 
+use fl_bench::args::ParsedArgs;
 use fl_bench::{dump_json_obs, obs_recorder, workers_from_env_obs, Scenario};
 use fl_ctrl::{
     compare_controllers, run_parallel_sweep, CheckpointOptions, FrequencyController,
@@ -37,35 +38,12 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 fn main() {
-    let mut positional: Vec<String> = Vec::new();
-    let mut ckpt: Option<PathBuf> = None;
-    let mut kill_after: Option<f64> = None;
-    let mut obs_dir: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--ckpt" => {
-                ckpt = Some(PathBuf::from(
-                    args.next().expect("--ckpt needs a directory"),
-                ))
-            }
-            "--obs" => obs_dir = Some(PathBuf::from(args.next().expect("--obs needs a directory"))),
-            "--kill-after" => {
-                let frac: f64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--kill-after needs a fraction in (0, 1)");
-                assert!(frac > 0.0 && frac < 1.0, "--kill-after must be in (0, 1)");
-                kill_after = Some(frac);
-            }
-            _ => positional.push(a),
-        }
-    }
-    let n_seeds: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(5);
-    let episodes: usize = positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(800);
+    let cli = ParsedArgs::parse(&["--ckpt", "--obs", "--kill-after"], &[]);
+    let ckpt: Option<PathBuf> = cli.path("--ckpt");
+    let obs_dir: Option<PathBuf> = cli.path("--obs");
+    let kill_after: Option<f64> = cli.fraction_01("--kill-after");
+    let n_seeds: usize = cli.positional_or(0, 5);
+    let episodes: usize = cli.positional_or(1, 800);
     let iterations = 300;
     let run_rec = obs_recorder(obs_dir.as_deref(), "run.jsonl");
     let workers = workers_from_env_obs(&run_rec);

@@ -12,9 +12,17 @@
 //! the gate fails only if every attempt regresses. Run with `--release` —
 //! debug builds measure the optimizer, not the kernels.
 //!
-//! `--write-baseline` regenerates the committed baseline in place.
+//! The gate also re-runs the serving load sweep (`serve_perf`) against
+//! its committed baseline (`crates/fl-bench/results/serve_bench.json`):
+//! throughput may drop to 1/4 of baseline and p99 may grow 8x (with a
+//! 5 ms absolute floor) before failing — wide margins that catch an
+//! accidentally serialized batcher or a lock held across a policy
+//! forward, not CI-host jitter.
+//!
+//! `--write-baseline` regenerates both committed baselines in place.
 
 use fl_bench::kernel_perf::{measure, print_report, KernelReport};
+use fl_bench::serve_perf;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -29,6 +37,58 @@ const BUDGET: Duration = Duration::from_millis(200);
 
 fn baseline_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("results/kernel_bench.json")
+}
+
+/// Per-case driving budget for the serve gate: short — the gate checks
+/// for collapse, not drift, and three attempts must stay CI-friendly.
+const SERVE_BUDGET: Duration = Duration::from_millis(500);
+
+fn serve_baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results/serve_bench.json")
+}
+
+fn load_serve_baseline() -> serve_perf::ServeReport {
+    let path = serve_baseline_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_check: cannot read serve baseline {}: {e}\n\
+             regenerate it with: cargo run --release -p fl-bench --bin serve_bench -- --write-baseline",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_check: serve baseline {} is not valid: {e}",
+            path.display()
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Runs the serve gate with retries; exits the process on failure.
+fn gate_serve() {
+    let baseline = load_serve_baseline();
+    let mut failures = Vec::new();
+    for attempt in 1..=ATTEMPTS {
+        let measured = serve_perf::measure(SERVE_BUDGET);
+        failures = serve_perf::check(&baseline, &measured);
+        if failures.is_empty() {
+            println!("bench_check[serve]: OK (attempt {attempt}/{ATTEMPTS})");
+            serve_perf::print_report(&measured);
+            return;
+        }
+        eprintln!(
+            "bench_check[serve]: attempt {attempt}/{ATTEMPTS} regressed:\n  {}",
+            failures.join("\n  ")
+        );
+    }
+    eprintln!(
+        "bench_check: FAIL — serving performance regressed in all \
+         {ATTEMPTS} attempts:\n  {}",
+        failures.join("\n  ")
+    );
+    std::process::exit(1);
 }
 
 fn load_baseline() -> KernelReport {
@@ -86,6 +146,13 @@ fn main() {
             .expect("create results dir");
         fl_rl::snapshot::atomic_write(&path, text.as_bytes()).expect("write baseline");
         println!("\n[baseline written to {}]", path.display());
+
+        let serve_report = serve_perf::measure(SERVE_BUDGET);
+        serve_perf::print_report(&serve_report);
+        let text = serde_json::to_string_pretty(&serve_report).expect("report serializes");
+        let path = serve_baseline_path();
+        fl_rl::snapshot::atomic_write(&path, text.as_bytes()).expect("write serve baseline");
+        println!("\n[serve baseline written to {}]", path.display());
         return;
     }
 
@@ -95,8 +162,9 @@ fn main() {
         let measured = measure(BUDGET);
         failures = check(&baseline, &measured);
         if failures.is_empty() {
-            println!("bench_check: OK (attempt {attempt}/{ATTEMPTS})");
+            println!("bench_check[kernel]: OK (attempt {attempt}/{ATTEMPTS})");
             print_report(&measured);
+            gate_serve();
             return;
         }
         eprintln!(

@@ -1,0 +1,46 @@
+//! Load benchmark for the fl-serve decision server.
+//!
+//! Trains (cache-aware) the small testbed controller, serves it from a
+//! throwaway checkpoint store, and drives thousands of synthetic FL
+//! decision requests — observations sampled from the scenario's fl-net
+//! bandwidth traces — through real TCP connections. Reports client-side
+//! p50/p99/p999 latency and throughput per case (serial floor plus two
+//! burst levels exercising the micro-batcher).
+//!
+//! Usage:
+//! `cargo run --release -p fl-bench --bin serve_bench [budget_ms] [--write-baseline]`
+//!
+//! The default budget (2000 ms per case, three cases, plus a short
+//! training run) keeps the full benchmark around ten seconds — the CI
+//! smoke budget. `--write-baseline` regenerates the committed gate
+//! baseline (`crates/fl-bench/results/serve_bench.json`); a normal run
+//! writes its report to `results/serve_bench.json` at the repo root for
+//! EXPERIMENTS.md bookkeeping.
+
+use fl_bench::args::ParsedArgs;
+use fl_bench::dump_json;
+use fl_bench::serve_perf::{measure, print_report};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results/serve_bench.json")
+}
+
+fn main() {
+    let cli = ParsedArgs::parse(&[], &["--write-baseline"]);
+    let budget = Duration::from_millis(cli.positional_or(0, 2000u64));
+    let report = measure(budget);
+    print_report(&report);
+
+    if cli.has("--write-baseline") {
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        let path = baseline_path();
+        std::fs::create_dir_all(path.parent().expect("baseline path has a parent"))
+            .expect("create results dir");
+        fl_rl::snapshot::atomic_write(&path, text.as_bytes()).expect("write baseline");
+        println!("\n[baseline written to {}]", path.display());
+        return;
+    }
+    dump_json("serve_bench.json", &serde_json::to_value(&report));
+}

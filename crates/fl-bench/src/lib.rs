@@ -18,7 +18,9 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod kernel_perf;
+pub mod serve_perf;
 
 use fl_ctrl::{
     train_drl, train_drl_opt, train_drl_parallel, train_drl_parallel_opt, ControllerRun,

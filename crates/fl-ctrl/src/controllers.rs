@@ -478,6 +478,12 @@ impl DrlController {
         &self.policy
     }
 
+    /// The observation normalizer frozen at training time (the serving path
+    /// applies it outside [`FrequencyController::decide`]).
+    pub fn obs_norm(&self) -> &RunningNorm {
+        &self.obs_norm
+    }
+
     /// Serializes the controller to JSON (model checkpointing).
     pub fn to_json(&self) -> Result<String> {
         serde_json::to_string(self)

@@ -57,6 +57,7 @@
 
 pub mod config;
 pub mod controllers;
+pub mod deploy;
 mod error;
 pub mod experiment;
 mod flenv;
@@ -70,6 +71,7 @@ pub use controllers::{
     DrlController, FrequencyController, HeuristicController, MaxFreqController, OracleController,
     PredictiveController, StaticController,
 };
+pub use deploy::ControllerSnapshot;
 pub use error::CtrlError;
 pub use experiment::{
     compare_controllers, compare_controllers_faulty, run_controller, run_controller_faulty,

@@ -68,6 +68,36 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Stacks equal-width rows into an `n x width` matrix — the batched
+    /// inference entry point (a decision server assembles concurrent
+    /// observations into one forward batch this way).
+    ///
+    /// Returns [`NnError::InvalidArgument`] when `rows` is empty or the rows
+    /// have differing widths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(NnError::InvalidArgument(
+                "from_rows needs at least one row".to_string(),
+            ));
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(NnError::InvalidArgument(format!(
+                    "row {i} has width {}, expected {cols}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
     /// Creates a 1 x n row vector from a slice.
     pub fn row_vector(v: &[f64]) -> Self {
         Matrix {

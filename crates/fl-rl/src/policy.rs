@@ -288,6 +288,19 @@ impl GaussianPolicy {
         Ok(m.row(0).to_vec())
     }
 
+    /// Batched deterministic actions: one Gaussian-mean row per observation
+    /// row of `obs` (`n x obs_dim` in, `n x action_dim` out).
+    ///
+    /// This is the serving-path entry point: a decision server stacks
+    /// concurrent observations into one forward batch. The blocked kernels
+    /// compute each output element with a row-count-independent operation
+    /// sequence, so row `i` of the batch is bit-identical to
+    /// [`GaussianPolicy::mean_action`] on that row alone — micro-batching
+    /// never changes served bits.
+    pub fn mean_actions(&self, obs: &Matrix) -> Result<Matrix> {
+        self.infer_means(obs)
+    }
+
     /// Samples `a ~ N(μ(obs), σ²)` and returns `(action, log_prob)`.
     pub fn sample(&self, obs: &[f64], rng: &mut impl Rng) -> Result<(Vec<f64>, f64)> {
         let mean = self.mean_action(obs)?;
@@ -721,6 +734,24 @@ mod tests {
         let joint3 = GaussianPolicy::new(6, &[4], 3, -0.5, &mut rng).unwrap();
         assert!(shared.copy_params_from(&joint3).is_err());
         let _ = joint;
+    }
+
+    /// Serving-path contract: batched means are bit-identical to the
+    /// single-row path for every row, for both architectures.
+    #[test]
+    fn mean_actions_batch_is_bitwise_row_independent() {
+        for p in [policy(30), shared_policy(30)] {
+            let dim = p.obs_dim();
+            let obs = Matrix::from_fn(7, dim, |r, c| ((r * dim + c) as f64 * 0.31).sin());
+            let batch = p.mean_actions(&obs).unwrap();
+            assert_eq!(batch.shape(), (7, p.action_dim()));
+            for r in 0..obs.rows() {
+                let single = p.mean_action(obs.row(r)).unwrap();
+                for (a, b) in batch.row(r).iter().zip(&single) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! The micro-batching queue between connection threads and the single
+//! inference thread.
+//!
+//! Connection threads validate a `decide` request, push a [`Pending`]
+//! entry, and block on their private response channel. The inference
+//! thread wakes on the first entry, lingers briefly for stragglers (the
+//! batching window), drains up to `max_batch` entries, and runs them
+//! through one `[n × obs]` policy forward. Because the blocked kernels
+//! are row-count independent and the Welford normalizer is per-element,
+//! batching never changes served bits — only latency.
+//!
+//! Built on `std::sync::{Mutex, Condvar}`: the vendored `parking_lot`
+//! shim has no `wait_timeout`, and the linger window needs one.
+
+use fl_ctrl::ControllerSnapshot;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The snapshot occupying the serving slot. The inference thread clones
+/// the containing `Arc` once per micro-batch, so a hot-reload swapping the
+/// slot never tears a batch across two snapshots.
+pub(crate) struct Loaded {
+    /// The deployable controller artifact.
+    pub snap: ControllerSnapshot,
+    /// Store sequence number this snapshot was loaded under.
+    pub seq: u64,
+}
+
+/// What the inference thread sends back per request: the serving snapshot
+/// sequence and the frequency vector, or an error message.
+pub(crate) type DecisionResult = Result<(u64, Vec<f64>), String>;
+
+/// One queued decision request.
+pub(crate) struct Pending {
+    /// The raw (unnormalized) observation row.
+    pub obs: Vec<f64>,
+    /// Where the requesting connection thread waits for the answer.
+    pub tx: Sender<DecisionResult>,
+}
+
+/// FIFO of pending decisions, shared by all connection threads and the
+/// inference thread.
+pub(crate) struct BatchQueue {
+    queue: Mutex<VecDeque<Pending>>,
+    cv: Condvar,
+}
+
+impl BatchQueue {
+    pub(crate) fn new() -> Self {
+        BatchQueue {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Pending>> {
+        // A panicking holder cannot leave the VecDeque in an invalid state
+        // (push/drain are atomic under the lock), so recover from poison.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a request and wakes the inference thread.
+    pub(crate) fn push(&self, pending: Pending) {
+        self.lock().push_back(pending);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until at least one request is pending, lingers up to
+    /// `linger` for more (bounded by `max_batch`), and drains the batch.
+    /// Returns an empty vec only when `shutdown` is set and the queue is
+    /// empty — the inference thread's exit signal.
+    pub(crate) fn collect(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        shutdown: &AtomicBool,
+    ) -> Vec<Pending> {
+        let max_batch = max_batch.max(1);
+        let mut q = self.lock();
+        while q.is_empty() {
+            if shutdown.load(Ordering::Acquire) {
+                return Vec::new();
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+        if !linger.is_zero() && q.len() < max_batch && !shutdown.load(Ordering::Acquire) {
+            let deadline = Instant::now() + linger;
+            loop {
+                let now = Instant::now();
+                if now >= deadline || q.len() >= max_batch || shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+        let take = q.len().min(max_batch);
+        q.drain(..take).collect()
+    }
+
+    /// Wakes the inference thread (shutdown path).
+    pub(crate) fn notify(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn pending(v: f64) -> (Pending, std::sync::mpsc::Receiver<DecisionResult>) {
+        let (tx, rx) = channel();
+        (Pending { obs: vec![v], tx }, rx)
+    }
+
+    #[test]
+    fn collect_drains_up_to_max_batch_in_order() {
+        let q = BatchQueue::new();
+        let stop = AtomicBool::new(false);
+        let mut rxs = Vec::new();
+        for i in 0..5 {
+            let (p, rx) = pending(i as f64);
+            q.push(p);
+            rxs.push(rx);
+        }
+        let batch = q.collect(3, Duration::ZERO, &stop);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].obs, vec![0.0]);
+        assert_eq!(batch[2].obs, vec![2.0]);
+        let rest = q.collect(3, Duration::ZERO, &stop);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[1].obs, vec![4.0]);
+    }
+
+    #[test]
+    fn collect_returns_empty_on_shutdown() {
+        let q = Arc::new(BatchQueue::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (q2, stop2) = (Arc::clone(&q), Arc::clone(&stop));
+        let h = std::thread::spawn(move || q2.collect(8, Duration::ZERO, &stop2));
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Release);
+        q.notify();
+        assert!(h.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn linger_window_gathers_stragglers() {
+        let q = Arc::new(BatchQueue::new());
+        let stop = AtomicBool::new(false);
+        let (first, _rx1) = pending(1.0);
+        q.push(first);
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let (late, rx) = pending(2.0);
+            q2.push(late);
+            rx
+        });
+        let batch = q.collect(8, Duration::from_millis(500), &stop);
+        let _rx2 = h.join().unwrap();
+        assert_eq!(batch.len(), 2, "linger window should catch the straggler");
+    }
+}

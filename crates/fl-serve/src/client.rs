@@ -1,0 +1,131 @@
+//! A small blocking client for the serving protocol — used by the test
+//! suites, the load generator, and anyone embedding a decision client in
+//! Rust. The wire format is trivial enough (see [`crate::protocol`]) that
+//! other languages need ~20 lines to speak it.
+
+use crate::protocol::{
+    decode_json, encode_json, read_frame, write_frame, FrameRead, ServeStats, WireRequest,
+    WireResponse,
+};
+use crate::ServeError;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a [`crate::DecisionServer`].
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Guards blocking reads with a timeout (off by default).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends a request frame and reads the response frame.
+    pub fn request(&mut self, request: &WireRequest) -> Result<WireResponse, ServeError> {
+        write_frame(&mut self.stream, &encode_json(request)?)?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes verbatim — no framing. Protocol tests use this to
+    /// put malformed traffic on the wire.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Sends `payload` wrapped in a well-formed frame.
+    pub fn send_payload(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Reads one response frame.
+    pub fn read_response(&mut self) -> Result<WireResponse, ServeError> {
+        match read_frame(&mut self.stream) {
+            Ok(FrameRead::Frame(payload)) => decode_json(&payload),
+            Ok(FrameRead::Eof) => Err(ServeError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+            Ok(FrameRead::Idle) => Err(ServeError::Protocol(
+                "timed out waiting for a response".to_string(),
+            )),
+            Err(e) => Err(ServeError::Protocol(format!("bad response frame: {e:?}"))),
+        }
+    }
+
+    fn expect_ok(response: WireResponse) -> Result<WireResponse, ServeError> {
+        if response.ok {
+            Ok(response)
+        } else {
+            let (code, msg) = response.error_parts();
+            Err(ServeError::Server { code, msg })
+        }
+    }
+
+    /// One decision: observation in, `(snapshot seq, frequencies)` out.
+    pub fn decide(&mut self, obs: &[f64]) -> Result<(u64, Vec<f64>), ServeError> {
+        self.decide_request(WireRequest::decide(obs.to_vec()))
+    }
+
+    /// One decision pinned to a config digest.
+    pub fn decide_pinned(
+        &mut self,
+        obs: &[f64],
+        digest: u32,
+    ) -> Result<(u64, Vec<f64>), ServeError> {
+        self.decide_request(WireRequest::decide_pinned(obs.to_vec(), digest))
+    }
+
+    fn decide_request(&mut self, request: WireRequest) -> Result<(u64, Vec<f64>), ServeError> {
+        let response = Self::expect_ok(self.request(&request)?)?;
+        match (response.seq, response.freqs) {
+            (Some(seq), Some(freqs)) => Ok((seq, freqs)),
+            _ => Err(ServeError::Protocol(
+                "decide response missing seq or freqs".to_string(),
+            )),
+        }
+    }
+
+    /// Liveness probe: returns `(serving seq, config digest)`.
+    pub fn ping(&mut self) -> Result<(u64, u32), ServeError> {
+        let response = Self::expect_ok(self.request(&WireRequest::ping())?)?;
+        match (response.seq, response.digest) {
+            (Some(seq), Some(digest)) => Ok((seq, digest)),
+            _ => Err(ServeError::Protocol(
+                "ping response missing seq or digest".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        let response = Self::expect_ok(self.request(&WireRequest::stats())?)?;
+        response
+            .stats
+            .ok_or_else(|| ServeError::Protocol("stats response missing stats".to_string()))
+    }
+
+    /// Asks the server to adopt the newest store snapshot. Returns
+    /// `(swapped, now-serving seq)`.
+    pub fn reload(&mut self) -> Result<(bool, u64), ServeError> {
+        let response = Self::expect_ok(self.request(&WireRequest::reload())?)?;
+        match (response.reloaded, response.seq) {
+            (Some(swapped), Some(seq)) => Ok((swapped, seq)),
+            _ => Err(ServeError::Protocol(
+                "reload response missing fields".to_string(),
+            )),
+        }
+    }
+}

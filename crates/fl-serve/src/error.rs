@@ -1,0 +1,71 @@
+//! Structured errors for the serving stack.
+
+use std::fmt;
+
+/// Everything that can go wrong starting, running, or talking to a
+/// [`crate::DecisionServer`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket- or file-level I/O failure.
+    Io(std::io::Error),
+    /// Snapshot envelope failure (corrupt store, CRC mismatch, ...).
+    Snapshot(fl_rl::snapshot::SnapshotError),
+    /// Controller-level failure (bad dimensions, invalid snapshot, ...).
+    Ctrl(fl_ctrl::CtrlError),
+    /// JSON encode/decode failure on the wire.
+    Json(serde_json::Error),
+    /// The checkpoint store holds no snapshot to serve.
+    EmptyStore,
+    /// A framing violation observed by the client (bad magic, truncated
+    /// frame, oversized response, ...).
+    Protocol(String),
+    /// The server answered with a structured error frame.
+    Server {
+        /// Machine-readable error code (see `protocol::codes`).
+        code: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::Ctrl(e) => write!(f, "controller error: {e}"),
+            ServeError::Json(e) => write!(f, "json error: {e}"),
+            ServeError::EmptyStore => {
+                write!(f, "checkpoint store holds no snapshot to serve")
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<fl_rl::snapshot::SnapshotError> for ServeError {
+    fn from(e: fl_rl::snapshot::SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<fl_ctrl::CtrlError> for ServeError {
+    fn from(e: fl_ctrl::CtrlError) -> Self {
+        ServeError::Ctrl(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Json(e)
+    }
+}

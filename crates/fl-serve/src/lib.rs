@@ -1,0 +1,55 @@
+//! # fl-serve — controller-as-a-service
+//!
+//! A trained frequency controller is only useful if the federated
+//! aggregator can ask it questions. This crate turns a
+//! [`fl_ctrl::ControllerSnapshot`] into a long-lived decision server:
+//!
+//! * **Protocol** — length-prefixed JSON frames over TCP
+//!   ([`protocol`]): observation in, per-device frequencies out, with
+//!   structured error codes for every malformed input (never a panic,
+//!   never a silently closed socket).
+//! * **Micro-batching** — concurrent requests inside a short linger
+//!   window are served by a *single* `[n × obs]` policy forward. The
+//!   blocked kernels are row-count independent bit for bit, so batching
+//!   changes latency, never answers
+//!   (`tests/serve_determinism.rs`).
+//! * **Hot-reload** — the serving snapshot sits in a double-buffered
+//!   slot; a newer checkpoint swaps in atomically while in-flight
+//!   requests keep the old one (`tests/serve_reload.rs`). Config drift is
+//!   refused by digest.
+//! * **Telemetry** — every request, batch, reload, and error lands in
+//!   fl-obs counters and latency histograms, served back over the wire
+//!   via `stats` requests.
+//!
+//! ## In-process quickstart
+//!
+//! ```no_run
+//! use fl_serve::{DecisionServer, ServeClient, ServeOptions};
+//!
+//! let server = DecisionServer::start("ckpts/", "127.0.0.1:0", ServeOptions::default())?;
+//! let mut client = ServeClient::connect(server.local_addr())?;
+//! let obs = vec![0.0; server.obs_dim()];
+//! let (seq, freqs) = client.decide(&obs)?;
+//! println!("snapshot {seq} says: {freqs:?} GHz");
+//! # Ok::<(), fl_serve::ServeError>(())
+//! ```
+//!
+//! The `fl-serve` binary wraps [`DecisionServer`] for the two-terminal
+//! workflow (see the README's "Serving a trained controller").
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards reject NaN along with out-of-range values;
+// clippy's suggested inversion (`x <= 0.0`) would silently accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod client;
+mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::ServeClient;
+pub use error::ServeError;
+pub use protocol::{ErrorCounters, LatencySummary, ServeStats, WireRequest, WireResponse};
+pub use server::{DecisionServer, ServeOptions};

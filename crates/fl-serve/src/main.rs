@@ -1,0 +1,91 @@
+//! The `fl-serve` daemon: load the newest controller snapshot from a
+//! checkpoint directory and serve frequency decisions over TCP until
+//! killed.
+//!
+//! ```bash
+//! fl-serve --ckpt CKPT_DIR [--addr 127.0.0.1:7878] [--obs DIR]
+//!          [--max-batch N] [--linger-us N] [--poll-ms N]
+//! ```
+//!
+//! `--poll-ms N` enables automatic hot-reload: the server checks the
+//! store every `N` ms and adopts newer snapshots (a training run saving
+//! into the same directory upgrades the server live). Without it, reloads
+//! happen only on explicit `reload` requests. `--obs DIR` writes the
+//! fl-obs event/metric stream to `DIR/serve.jsonl`.
+
+// The shared CLI parser lives in fl-bench (which depends on this crate,
+// so the usual `use` direction would be a cycle); include the same
+// std-only source file instead — one parser, two crates.
+#[path = "../../fl-bench/src/args.rs"]
+#[allow(dead_code)] // the daemon uses a subset of the shared parser
+mod args;
+
+use args::ParsedArgs;
+use fl_serve::{DecisionServer, ServeOptions};
+use std::time::Duration;
+
+fn main() {
+    let cli = ParsedArgs::parse(
+        &[
+            "--ckpt",
+            "--addr",
+            "--obs",
+            "--max-batch",
+            "--linger-us",
+            "--poll-ms",
+        ],
+        &[],
+    );
+    let ckpt = cli.path("--ckpt").unwrap_or_else(|| {
+        eprintln!(
+            "usage: fl-serve --ckpt CKPT_DIR [--addr HOST:PORT] [--obs DIR] \
+             [--max-batch N] [--linger-us N] [--poll-ms N]"
+        );
+        std::process::exit(2);
+    });
+    let addr = cli.value("--addr").unwrap_or("127.0.0.1:7878").to_string();
+
+    let mut opts = ServeOptions::default();
+    if let Some(n) = cli.parsed::<usize>("--max-batch") {
+        opts.max_batch = n.max(1);
+    }
+    if let Some(us) = cli.parsed::<u64>("--linger-us") {
+        opts.linger = Duration::from_micros(us);
+    }
+    if let Some(ms) = cli.parsed::<u64>("--poll-ms") {
+        opts.reload_poll = Some(Duration::from_millis(ms.max(1)));
+    }
+    if let Some(dir) = cli.path("--obs") {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("fl-serve: cannot create --obs dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        match fl_obs::Recorder::to_file(dir.join("serve.jsonl")) {
+            Ok(rec) => opts.recorder = rec,
+            Err(e) => {
+                eprintln!("fl-serve: cannot open --obs sink: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let server = match DecisionServer::start(&ckpt, &addr, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fl-serve: cannot start from {}: {e}", ckpt.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fl-serve listening on {} (snapshot seq {}, config digest {:08x}, obs_dim {}, {} devices)",
+        server.local_addr(),
+        server.serving_seq(),
+        server.config_digest(),
+        server.obs_dim(),
+        server.action_dim(),
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,603 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------+----------------+------------------+
+//! | "FSV1"   | payload length | payload          |
+//! | 4 bytes  | u32, LE        | JSON, UTF-8      |
+//! +----------+----------------+------------------+
+//! ```
+//!
+//! The magic pins the protocol version (bump to `FSV2` on any incompatible
+//! change) and lets the server reject non-protocol traffic on the first
+//! four bytes. Payloads above [`MAX_PAYLOAD`] are refused with an
+//! `oversized` error; if the declared length is still under [`DRAIN_CAP`]
+//! the server drains the payload and keeps the connection (the stream stays
+//! in sync), otherwise it closes after responding. A zero-length payload is
+//! an `empty_payload` error — no payload bytes follow, so the connection
+//! survives that too.
+//!
+//! Requests and responses are the [`WireRequest`] / [`WireResponse`]
+//! structs. Error responses always carry `ok = false`, a machine-readable
+//! `code` from [`codes`], and a human-readable `msg`; the server never
+//! answers a parseable frame with silence or a dropped socket.
+
+use crate::ServeError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Frame magic: protocol name + version.
+pub const FRAME_MAGIC: [u8; 4] = *b"FSV1";
+
+/// Largest accepted payload (1 MiB): far above any real decision batch,
+/// far below anything that could pressure server memory.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Oversized frames whose declared length is at most this (4 MiB) are
+/// drained so the connection survives; larger declarations get an error
+/// response and a close (draining them would let a client stream unbounded
+/// garbage through the server).
+pub const DRAIN_CAP: u32 = 4 << 20;
+
+/// Machine-readable error codes carried in [`WireResponse::code`].
+pub mod codes {
+    /// The four magic bytes were not `FSV1`. The stream cannot be
+    /// resynchronized, so the server responds and closes.
+    pub const BAD_MAGIC: &str = "bad_magic";
+    /// Declared payload length exceeds [`super::MAX_PAYLOAD`].
+    pub const OVERSIZED: &str = "oversized";
+    /// Declared payload length is zero.
+    pub const EMPTY_PAYLOAD: &str = "empty_payload";
+    /// Payload is not valid UTF-8 JSON for a request.
+    pub const BAD_JSON: &str = "bad_json";
+    /// Request parsed but is semantically invalid (unknown kind, missing
+    /// observation, non-finite observation values, ...).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Observation length does not match the served controller's input
+    /// dimension.
+    pub const DIM_MISMATCH: &str = "dim_mismatch";
+    /// The request pinned a config digest that differs from the served
+    /// snapshot's.
+    pub const DIGEST_MISMATCH: &str = "digest_mismatch";
+    /// A hot-reload attempt failed (corrupt store, digest drift, ...). The
+    /// previously loaded snapshot keeps serving.
+    pub const RELOAD_FAILED: &str = "reload_failed";
+    /// Unexpected server-side failure evaluating the request.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// A client request. `kind` selects the operation:
+///
+/// * `"decide"` — `obs` required; `digest` optionally pins the expected
+///   config fingerprint,
+/// * `"ping"` — liveness probe; echoes the served seq and digest,
+/// * `"stats"` — serving metrics snapshot,
+/// * `"reload"` — ask the server to adopt the newest store snapshot now.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Operation: `decide`, `ping`, `stats`, or `reload`.
+    pub kind: String,
+    /// Observation row for `decide` (length must equal the controller's
+    /// observation dimension).
+    pub obs: Option<Vec<f64>>,
+    /// Optional pinned config digest for `decide`: the server refuses with
+    /// `digest_mismatch` when it differs from the served snapshot's.
+    pub digest: Option<u32>,
+}
+
+impl WireRequest {
+    /// A `decide` request for one observation row.
+    pub fn decide(obs: Vec<f64>) -> Self {
+        WireRequest {
+            kind: "decide".to_string(),
+            obs: Some(obs),
+            digest: None,
+        }
+    }
+
+    /// A `decide` request pinned to a config digest.
+    pub fn decide_pinned(obs: Vec<f64>, digest: u32) -> Self {
+        WireRequest {
+            kind: "decide".to_string(),
+            obs: Some(obs),
+            digest: Some(digest),
+        }
+    }
+
+    /// A liveness probe.
+    pub fn ping() -> Self {
+        WireRequest {
+            kind: "ping".to_string(),
+            obs: None,
+            digest: None,
+        }
+    }
+
+    /// A metrics-snapshot request.
+    pub fn stats() -> Self {
+        WireRequest {
+            kind: "stats".to_string(),
+            obs: None,
+            digest: None,
+        }
+    }
+
+    /// An explicit hot-reload request.
+    pub fn reload() -> Self {
+        WireRequest {
+            kind: "reload".to_string(),
+            obs: None,
+            digest: None,
+        }
+    }
+}
+
+/// A server response. `ok = true` carries the operation's payload fields;
+/// `ok = false` carries `code` + `msg` instead.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Echo of the request kind this answers (`decide`, `ping`, ...).
+    pub kind: Option<String>,
+    /// Snapshot sequence number that produced this answer. For `decide`
+    /// this attributes the served frequencies to exactly one snapshot.
+    pub seq: Option<u64>,
+    /// Config digest of the serving snapshot (`ping` responses).
+    pub digest: Option<u32>,
+    /// Served per-device frequencies in GHz (`decide` responses).
+    pub freqs: Option<Vec<f64>>,
+    /// Whether a `reload` request actually swapped snapshots.
+    pub reloaded: Option<bool>,
+    /// Serving metrics (`stats` responses).
+    pub stats: Option<ServeStats>,
+    /// Machine-readable error code (`ok = false` only); see [`codes`].
+    pub code: Option<String>,
+    /// Human-readable error detail (`ok = false` only).
+    pub msg: Option<String>,
+}
+
+impl WireResponse {
+    fn empty(kind: &str) -> Self {
+        WireResponse {
+            ok: true,
+            kind: Some(kind.to_string()),
+            seq: None,
+            digest: None,
+            freqs: None,
+            reloaded: None,
+            stats: None,
+            code: None,
+            msg: None,
+        }
+    }
+
+    /// A successful `decide` response.
+    pub fn decided(seq: u64, freqs: Vec<f64>) -> Self {
+        let mut r = Self::empty("decide");
+        r.seq = Some(seq);
+        r.freqs = Some(freqs);
+        r
+    }
+
+    /// A successful `ping` response.
+    pub fn pong(seq: u64, digest: u32) -> Self {
+        let mut r = Self::empty("ping");
+        r.seq = Some(seq);
+        r.digest = Some(digest);
+        r
+    }
+
+    /// A successful `stats` response.
+    pub fn stats(stats: ServeStats) -> Self {
+        let mut r = Self::empty("stats");
+        r.stats = Some(stats);
+        r
+    }
+
+    /// A successful `reload` response; `seq` is the now-serving sequence.
+    pub fn reloaded(reloaded: bool, seq: u64) -> Self {
+        let mut r = Self::empty("reload");
+        r.seq = Some(seq);
+        r.reloaded = Some(reloaded);
+        r
+    }
+
+    /// A structured error response.
+    pub fn error(code: &str, msg: impl Into<String>) -> Self {
+        WireResponse {
+            ok: false,
+            kind: None,
+            seq: None,
+            digest: None,
+            freqs: None,
+            reloaded: None,
+            stats: None,
+            code: Some(code.to_string()),
+            msg: Some(msg.into()),
+        }
+    }
+
+    /// Unwraps an error response into its `(code, msg)` pair, with
+    /// placeholders when the server omitted fields.
+    pub fn error_parts(&self) -> (String, String) {
+        (
+            self.code.clone().unwrap_or_else(|| "unknown".to_string()),
+            self.msg.clone().unwrap_or_default(),
+        )
+    }
+}
+
+/// Serving metrics, as returned by a `stats` request: enough to see load,
+/// tail latency, batching efficiency, and every structured-error counter
+/// without scraping the fl-obs log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Sequence number of the snapshot currently serving.
+    pub seq: u64,
+    /// Config digest of the snapshot currently serving.
+    pub digest: u32,
+    /// Observation dimension a `decide` request must supply.
+    pub obs_dim: usize,
+    /// Number of devices / served frequencies per decision.
+    pub action_dim: usize,
+    /// Total `decide` requests answered successfully.
+    pub decisions: u64,
+    /// Total policy forwards run (each serving one micro-batch).
+    pub batches: u64,
+    /// Largest micro-batch observed so far.
+    pub max_batch_observed: u64,
+    /// Successful hot-reload swaps.
+    pub reloads: u64,
+    /// Failed hot-reload attempts (the old snapshot kept serving).
+    pub reload_errors: u64,
+    /// Per-code structured-error counters.
+    pub errors: ErrorCounters,
+    /// Request-latency summary (read-to-write, microseconds).
+    pub latency_us: LatencySummary,
+}
+
+/// Per-code counts of structured errors answered on the wire.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ErrorCounters {
+    /// [`codes::BAD_MAGIC`] responses.
+    pub bad_magic: u64,
+    /// [`codes::OVERSIZED`] responses.
+    pub oversized: u64,
+    /// [`codes::EMPTY_PAYLOAD`] responses.
+    pub empty_payload: u64,
+    /// [`codes::BAD_JSON`] responses.
+    pub bad_json: u64,
+    /// [`codes::BAD_REQUEST`] responses.
+    pub bad_request: u64,
+    /// [`codes::DIM_MISMATCH`] responses.
+    pub dim_mismatch: u64,
+    /// [`codes::DIGEST_MISMATCH`] responses.
+    pub digest_mismatch: u64,
+    /// [`codes::RELOAD_FAILED`] responses.
+    pub reload_failed: u64,
+    /// [`codes::INTERNAL`] responses.
+    pub internal: u64,
+    /// Connections dropped mid-frame (no response possible).
+    pub truncated: u64,
+}
+
+/// Latency quantiles interpolated from the serving histogram.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile request latency, microseconds.
+    pub p999_us: f64,
+}
+
+/// Outcome of [`read_frame`] that is not a framing error.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame's payload bytes.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The read timed out with no frame started — the caller may check a
+    /// shutdown flag and poll again.
+    Idle,
+}
+
+/// Framing violations detected by [`read_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// First four bytes were not [`FRAME_MAGIC`]. Unrecoverable for this
+    /// connection: respond and close.
+    BadMagic([u8; 4]),
+    /// Declared payload length was zero. The stream is still in sync:
+    /// respond and continue.
+    EmptyPayload,
+    /// Declared payload length exceeds [`MAX_PAYLOAD`]. `drained` reports
+    /// whether the payload was consumed (connection survives) or not
+    /// (respond and close).
+    Oversized {
+        /// The length the frame header declared.
+        declared: u32,
+        /// Whether the oversized payload was drained off the stream.
+        drained: bool,
+    },
+    /// The peer vanished mid-frame. No response possible.
+    Truncated,
+}
+
+impl FrameError {
+    /// The wire error code a server should answer this violation with.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FrameError::Io(_) | FrameError::Truncated => codes::INTERNAL,
+            FrameError::BadMagic(_) => codes::BAD_MAGIC,
+            FrameError::EmptyPayload => codes::EMPTY_PAYLOAD,
+            FrameError::Oversized { .. } => codes::OVERSIZED,
+        }
+    }
+}
+
+/// How a partial read that hit the socket timeout should be treated.
+enum Progress {
+    /// No frame byte consumed yet: a timeout means "idle, poll again".
+    NotStarted,
+    /// Mid-frame: a timeout means "peer is slow, keep reading".
+    MidFrame,
+}
+
+/// Outcome of filling a fixed-size buffer.
+enum Fill {
+    Done,
+    CleanEof,
+    Idle,
+}
+
+/// Reads exactly `buf.len()` bytes, mapping timeouts per `progress` and
+/// bounding mid-frame stalls so a half-sent frame cannot pin a connection
+/// thread forever.
+fn fill(r: &mut impl Read, buf: &mut [u8], progress: Progress) -> Result<Fill, FrameError> {
+    let mut got = 0usize;
+    let mut stalls = 0u32;
+    // ~4 minutes of 250 ms poll timeouts; a blocking (no-timeout) client
+    // socket never hits this path.
+    const MAX_STALLS: u32 = 1000;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && matches!(progress, Progress::NotStarted) {
+                    return Ok(Fill::CleanEof);
+                }
+                return Err(FrameError::Truncated);
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if got == 0 && matches!(progress, Progress::NotStarted) {
+                    return Ok(Fill::Idle);
+                }
+                stalls += 1;
+                if stalls > MAX_STALLS {
+                    return Err(FrameError::Truncated);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Reads one frame. `Idle` is only possible when the reader has a socket
+/// read-timeout set (the server's poll loop); blocking clients see frames,
+/// `Eof`, or errors.
+pub fn read_frame(r: &mut impl Read) -> Result<FrameRead, FrameError> {
+    let mut magic = [0u8; 4];
+    match fill(r, &mut magic, Progress::NotStarted)? {
+        Fill::CleanEof => return Ok(FrameRead::Eof),
+        Fill::Idle => return Ok(FrameRead::Idle),
+        Fill::Done => {}
+    }
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let mut len_bytes = [0u8; 4];
+    match fill(r, &mut len_bytes, Progress::MidFrame)? {
+        Fill::Done => {}
+        // Unreachable for MidFrame, but keep the match total.
+        Fill::CleanEof | Fill::Idle => return Err(FrameError::Truncated),
+    }
+    let declared = u32::from_le_bytes(len_bytes);
+    if declared == 0 {
+        return Err(FrameError::EmptyPayload);
+    }
+    if declared > MAX_PAYLOAD {
+        if declared <= DRAIN_CAP {
+            // Consume the declared payload so the stream stays in sync and
+            // the connection can keep serving.
+            let mut chunk = [0u8; 4096];
+            let mut left = declared as usize;
+            while left > 0 {
+                let take = left.min(chunk.len());
+                match fill(r, &mut chunk[..take], Progress::MidFrame) {
+                    Ok(Fill::Done) => left -= take,
+                    _ => {
+                        return Err(FrameError::Oversized {
+                            declared,
+                            drained: false,
+                        })
+                    }
+                }
+            }
+            return Err(FrameError::Oversized {
+                declared,
+                drained: true,
+            });
+        }
+        return Err(FrameError::Oversized {
+            declared,
+            drained: false,
+        });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    match fill(r, &mut payload, Progress::MidFrame)? {
+        Fill::Done => Ok(FrameRead::Frame(payload)),
+        Fill::CleanEof | Fill::Idle => Err(FrameError::Truncated),
+    }
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    w.write_all(&FRAME_MAGIC)?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Serializes a message to its JSON payload bytes.
+pub fn encode_json<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, ServeError> {
+    Ok(serde_json::to_string(value)?.into_bytes())
+}
+
+/// Deserializes a JSON payload.
+pub fn decode_json<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, ServeError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| ServeError::Protocol(format!("payload is not UTF-8: {e}")))?;
+    Ok(serde_json::from_str(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"kind\":\"ping\"}").unwrap();
+        let mut cur = Cursor::new(buf);
+        match read_frame(&mut cur).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"{\"kind\":\"ping\"}"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match read_frame(&mut cur).unwrap() {
+            FrameRead::Eof => {}
+            other => panic!("expected eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] = b'Z';
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(FrameError::BadMagic(m)) => assert_eq!(&m[1..], b"SV1"),
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_rejected_in_sync() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        // A well-formed frame right after: the reader must stay in sync.
+        write_frame(&mut buf, b"next").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::EmptyPayload)
+        ));
+        match read_frame(&mut cur).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"next"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_drained_when_under_cap() {
+        let declared = MAX_PAYLOAD + 1;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.extend_from_slice(&declared.to_le_bytes());
+        buf.extend_from_slice(&vec![7u8; declared as usize]);
+        write_frame(&mut buf, b"after").unwrap();
+        let mut cur = Cursor::new(buf);
+        match read_frame(&mut cur) {
+            Err(FrameError::Oversized {
+                declared: d,
+                drained,
+            }) => {
+                assert_eq!(d, declared);
+                assert!(drained);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        match read_frame(&mut cur).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"after"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_beyond_cap_not_drained() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.extend_from_slice(&(DRAIN_CAP + 1).to_le_bytes());
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(FrameError::Oversized { drained, .. }) => assert!(!drained),
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Truncated)
+        ));
+        // Truncated header, too.
+        let mut short = Vec::new();
+        short.extend_from_slice(&FRAME_MAGIC[..2]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(short)),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn request_response_json_roundtrip() {
+        let req = WireRequest::decide_pinned(vec![0.5, -1.25, 3.0], 0xDEAD_BEEF);
+        let back: WireRequest = decode_json(&encode_json(&req).unwrap()).unwrap();
+        assert_eq!(back.kind, "decide");
+        assert_eq!(back.obs.unwrap(), vec![0.5, -1.25, 3.0]);
+        assert_eq!(back.digest.unwrap(), 0xDEAD_BEEF);
+
+        let resp = WireResponse::decided(42, vec![1.5, 2.0]);
+        let back: WireResponse = decode_json(&encode_json(&resp).unwrap()).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.seq.unwrap(), 42);
+        assert_eq!(back.freqs.unwrap(), vec![1.5, 2.0]);
+        assert!(back.code.is_none());
+
+        let err = WireResponse::error(codes::DIM_MISMATCH, "want 15, got 3");
+        let back: WireResponse = decode_json(&encode_json(&err).unwrap()).unwrap();
+        assert!(!back.ok);
+        let (code, msg) = back.error_parts();
+        assert_eq!(code, "dim_mismatch");
+        assert_eq!(msg, "want 15, got 3");
+    }
+}

@@ -1,0 +1,643 @@
+//! The decision server: accept loop, connection handlers, hot-reload, and
+//! the inference thread behind the micro-batch queue.
+//!
+//! ## Hot-reload contract
+//!
+//! The serving snapshot lives in one double-buffered slot: an
+//! `RwLock<Arc<Loaded>>`. The inference thread clones the `Arc` **once per
+//! micro-batch**, so every request in a batch — and therefore every
+//! response — is attributable to exactly one snapshot sequence number,
+//! even while a reload swaps the slot mid-flight. A reload builds the new
+//! `Loaded` entirely off-lock (disk read, CRC check, digest check) and
+//! holds the write lock only for the pointer swap; in-flight requests are
+//! never dropped, blocked behind disk I/O, or served torn state.
+//!
+//! Reload adopts whatever `CheckpointStore::load_latest` returns, which
+//! inherits the store's crash-safety: a corrupt newest slot falls back to
+//! the survivor, all-corrupt keeps the currently loaded snapshot serving
+//! (with a `reload_failed` error and counter). A snapshot whose config
+//! digest differs from the serving one is refused — clients pinned to the
+//! digest they were built against must never silently get a different
+//! observation contract.
+
+use crate::batch::{BatchQueue, Loaded, Pending};
+use crate::protocol::{
+    codes, decode_json, encode_json, read_frame, write_frame, ErrorCounters, FrameError, FrameRead,
+    LatencySummary, ServeStats, WireRequest, WireResponse,
+};
+use crate::ServeError;
+use fl_ctrl::ControllerSnapshot;
+use fl_obs::{Counter, Event, Histogram, Recorder};
+use fl_rl::snapshot::CheckpointStore;
+use parking_lot::RwLock;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper edges (µs) for the request-latency histogram: roughly
+/// logarithmic from 1 µs to 1 s.
+const LATENCY_BOUNDS_US: [f64; 19] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6,
+];
+
+/// Upper edges for the micro-batch-size histogram.
+const BATCH_BOUNDS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Tuning knobs for [`DecisionServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Largest micro-batch a single policy forward serves.
+    pub max_batch: usize,
+    /// How long the inference thread waits after the first queued request
+    /// for more to arrive (the batching window). Zero disables lingering.
+    pub linger: Duration,
+    /// Socket read-poll interval: how quickly idle connection threads
+    /// notice a server shutdown.
+    pub read_timeout: Duration,
+    /// When set, a background thread checks the store at this interval and
+    /// adopts newer snapshots automatically (in addition to explicit
+    /// `reload` requests).
+    pub reload_poll: Option<Duration>,
+    /// Telemetry sink. A disabled recorder is upgraded to in-memory so
+    /// `stats` responses always carry real numbers.
+    pub recorder: Recorder,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_batch: 32,
+            linger: Duration::from_micros(500),
+            read_timeout: Duration::from_millis(250),
+            reload_poll: None,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// All serving metrics, recorded through fl-obs instruments.
+pub(crate) struct Metrics {
+    latency_us: Histogram,
+    batch_size: Histogram,
+    pub(crate) decisions: Counter,
+    pub(crate) batches: Counter,
+    reloads: Counter,
+    reload_errors: Counter,
+    err_bad_magic: Counter,
+    err_oversized: Counter,
+    err_empty_payload: Counter,
+    err_bad_json: Counter,
+    err_bad_request: Counter,
+    err_dim_mismatch: Counter,
+    err_digest_mismatch: Counter,
+    err_reload_failed: Counter,
+    err_internal: Counter,
+    err_truncated: Counter,
+    pub(crate) max_batch_seen: AtomicU64,
+    recorder: Recorder,
+}
+
+impl Metrics {
+    fn new(recorder: Recorder) -> Self {
+        Metrics {
+            latency_us: recorder.histogram("serve.latency_us", &LATENCY_BOUNDS_US),
+            batch_size: recorder.histogram("serve.batch_size", &BATCH_BOUNDS),
+            decisions: recorder.counter("serve.decisions"),
+            batches: recorder.counter("serve.batches"),
+            reloads: recorder.counter("serve.reloads"),
+            reload_errors: recorder.counter("serve.reload_errors"),
+            err_bad_magic: recorder.counter("serve.err.bad_magic"),
+            err_oversized: recorder.counter("serve.err.oversized"),
+            err_empty_payload: recorder.counter("serve.err.empty_payload"),
+            err_bad_json: recorder.counter("serve.err.bad_json"),
+            err_bad_request: recorder.counter("serve.err.bad_request"),
+            err_dim_mismatch: recorder.counter("serve.err.dim_mismatch"),
+            err_digest_mismatch: recorder.counter("serve.err.digest_mismatch"),
+            err_reload_failed: recorder.counter("serve.err.reload_failed"),
+            err_internal: recorder.counter("serve.err.internal"),
+            err_truncated: recorder.counter("serve.err.truncated"),
+            max_batch_seen: AtomicU64::new(0),
+            recorder,
+        }
+    }
+
+    /// The counter behind a wire error code.
+    fn err_counter(&self, code: &str) -> &Counter {
+        match code {
+            codes::BAD_MAGIC => &self.err_bad_magic,
+            codes::OVERSIZED => &self.err_oversized,
+            codes::EMPTY_PAYLOAD => &self.err_empty_payload,
+            codes::BAD_JSON => &self.err_bad_json,
+            codes::BAD_REQUEST => &self.err_bad_request,
+            codes::DIM_MISMATCH => &self.err_dim_mismatch,
+            codes::DIGEST_MISMATCH => &self.err_digest_mismatch,
+            codes::RELOAD_FAILED => &self.err_reload_failed,
+            _ => &self.err_internal,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, the inference
+/// thread, and the reload poller.
+pub(crate) struct Shared {
+    pub(crate) slot: RwLock<Arc<Loaded>>,
+    store: CheckpointStore,
+    pub(crate) queue: BatchQueue,
+    pub(crate) metrics: Metrics,
+    shutdown: AtomicBool,
+    /// Config digest pinned at startup; immutable for the server lifetime
+    /// (reloads refusing digest drift is what makes it safe to cache).
+    digest: u32,
+    obs_dim: usize,
+    action_dim: usize,
+    max_batch: usize,
+    linger: Duration,
+    read_timeout: Duration,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        let m = &self.metrics;
+        let count = m.latency_us.count();
+        let q = |p: f64| {
+            if count == 0 {
+                0.0
+            } else {
+                m.latency_us.quantile(p)
+            }
+        };
+        ServeStats {
+            seq: self.slot.read().seq,
+            digest: self.digest,
+            obs_dim: self.obs_dim,
+            action_dim: self.action_dim,
+            decisions: m.decisions.value(),
+            batches: m.batches.value(),
+            max_batch_observed: m.max_batch_seen.load(Ordering::Relaxed),
+            reloads: m.reloads.value(),
+            reload_errors: m.reload_errors.value(),
+            errors: ErrorCounters {
+                bad_magic: m.err_bad_magic.value(),
+                oversized: m.err_oversized.value(),
+                empty_payload: m.err_empty_payload.value(),
+                bad_json: m.err_bad_json.value(),
+                bad_request: m.err_bad_request.value(),
+                dim_mismatch: m.err_dim_mismatch.value(),
+                digest_mismatch: m.err_digest_mismatch.value(),
+                reload_failed: m.err_reload_failed.value(),
+                internal: m.err_internal.value(),
+                truncated: m.err_truncated.value(),
+            },
+            latency_us: LatencySummary {
+                count,
+                p50_us: q(0.5),
+                p99_us: q(0.99),
+                p999_us: q(0.999),
+            },
+        }
+    }
+
+    /// Attempts to adopt the newest store snapshot. `Ok(false)` when the
+    /// store's newest is already serving; `Err` leaves the current
+    /// snapshot serving untouched.
+    fn try_reload(&self) -> Result<(bool, u64), String> {
+        let fail = |msg: String| {
+            self.metrics.reload_errors.inc();
+            self.metrics
+                .recorder
+                .emit(Event::phys("serve_reload_failed").s("error", &msg));
+            Err(msg)
+        };
+        let (seq, snap) = match ControllerSnapshot::load_latest(&self.store) {
+            Err(e) => return fail(format!("snapshot load failed: {e}")),
+            Ok(None) => return fail("checkpoint store is empty".to_string()),
+            Ok(Some(pair)) => pair,
+        };
+        let current = self.slot.read().seq;
+        if seq == current {
+            return Ok((false, current));
+        }
+        let digest = match snap.config_digest() {
+            Ok(d) => d,
+            Err(e) => return fail(format!("snapshot digest failed: {e}")),
+        };
+        if digest != self.digest {
+            return fail(format!(
+                "snapshot seq {seq} has config digest {digest:08x}, serving {:08x}",
+                self.digest
+            ));
+        }
+        // Swap is a pointer store: in-flight batches keep their Arc.
+        *self.slot.write() = Arc::new(Loaded { snap, seq });
+        self.metrics.reloads.inc();
+        self.metrics.recorder.emit(
+            Event::phys("serve_reload")
+                .u("from_seq", current)
+                .u("to_seq", seq),
+        );
+        Ok((true, seq))
+    }
+}
+
+/// A running decision server. Dropping it shuts the server down.
+pub struct DecisionServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    infer: Option<JoinHandle<()>>,
+    poller: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stopped: bool,
+}
+
+impl DecisionServer {
+    /// Loads the newest snapshot from the checkpoint store at `ckpt_dir`,
+    /// binds `addr` (use port 0 for an ephemeral port), and starts
+    /// serving. Fails when the store is empty or holds no valid snapshot.
+    pub fn start(
+        ckpt_dir: impl Into<PathBuf>,
+        addr: &str,
+        opts: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        let store = CheckpointStore::new(ckpt_dir)?;
+        let (seq, snap) = ControllerSnapshot::load_latest(&store)?.ok_or(ServeError::EmptyStore)?;
+        let digest = snap.config_digest()?;
+        let recorder = if opts.recorder.is_enabled() {
+            opts.recorder.clone()
+        } else {
+            Recorder::in_memory()
+        };
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            obs_dim: snap.obs_dim(),
+            action_dim: snap.action_dim(),
+            slot: RwLock::new(Arc::new(Loaded { snap, seq })),
+            store,
+            queue: BatchQueue::new(),
+            metrics: Metrics::new(recorder),
+            shutdown: AtomicBool::new(false),
+            digest,
+            max_batch: opts.max_batch.max(1),
+            linger: opts.linger,
+            read_timeout: opts.read_timeout,
+        });
+        shared.metrics.recorder.emit(
+            Event::phys("serve_start")
+                .u("seq", seq)
+                .u("digest", u64::from(digest))
+                .u("obs_dim", shared.obs_dim as u64)
+                .u("action_dim", shared.action_dim as u64)
+                .s("addr", &local.to_string()),
+        );
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(listener, shared, conns))
+        };
+        let infer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || inference_loop(shared))
+        };
+        let poller = opts.reload_poll.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reload_poll_loop(shared, interval))
+        });
+        Ok(DecisionServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            infer: Some(infer),
+            poller,
+            conns,
+            stopped: false,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sequence number of the snapshot currently serving.
+    pub fn serving_seq(&self) -> u64 {
+        self.shared.slot.read().seq
+    }
+
+    /// Config digest pinned at startup.
+    pub fn config_digest(&self) -> u32 {
+        self.shared.digest
+    }
+
+    /// Observation dimension `decide` requests must supply.
+    pub fn obs_dim(&self) -> usize {
+        self.shared.obs_dim
+    }
+
+    /// Devices / frequencies per decision.
+    pub fn action_dim(&self) -> usize {
+        self.shared.action_dim
+    }
+
+    /// Current serving metrics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// In-process hot-reload: adopt the newest store snapshot. Returns
+    /// whether a swap happened.
+    pub fn reload(&self) -> Result<bool, ServeError> {
+        self.shared
+            .try_reload()
+            .map(|(swapped, _)| swapped)
+            .map_err(|msg| ServeError::Server {
+                code: codes::RELOAD_FAILED.to_string(),
+                msg,
+            })
+    }
+
+    fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue.notify();
+        // Unblock the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.infer.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.poller.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared
+            .metrics
+            .recorder
+            .emit(Event::phys("serve_stop").u("decisions", self.shared.metrics.decisions.value()));
+        let _ = self.shared.metrics.recorder.flush();
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins every thread.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.shared.stats()
+    }
+}
+
+impl Drop for DecisionServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || handle_connection(shared, stream));
+                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn inference_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = shared
+            .queue
+            .collect(shared.max_batch, shared.linger, &shared.shutdown);
+        if batch.is_empty() {
+            // Only possible when shutdown is set and the queue is drained.
+            return;
+        }
+        // One Arc clone per batch: every response in it is attributable to
+        // exactly this snapshot seq, even if a reload swaps the slot now.
+        let loaded = Arc::clone(&shared.slot.read());
+        let rows: Vec<Vec<f64>> = batch.iter().map(|p| p.obs.clone()).collect();
+        let n = batch.len() as u64;
+        match loaded.snap.decide_rows(&rows) {
+            Ok(all_freqs) => {
+                for (pending, freqs) in batch.into_iter().zip(all_freqs) {
+                    // A receiver gone (client thread died) is not an error.
+                    let _ = pending.tx.send(Ok((loaded.seq, freqs)));
+                }
+                shared.metrics.batches.inc();
+                shared.metrics.decisions.add(n);
+                shared.metrics.batch_size.observe(n as f64);
+                shared
+                    .metrics
+                    .max_batch_seen
+                    .fetch_max(n, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // Dims are validated before enqueue and the digest pin
+                // freezes the config, so this is unexpected — but it must
+                // surface as a structured error, never a hang or panic.
+                let msg = format!("batched decide failed: {e}");
+                for pending in batch {
+                    let _ = pending.tx.send(Err(msg.clone()));
+                }
+            }
+        }
+    }
+}
+
+fn reload_poll_loop(shared: Arc<Shared>, interval: Duration) {
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(20).min(interval));
+        if last.elapsed() >= interval {
+            let _ = shared.try_reload();
+            last = Instant::now();
+        }
+    }
+}
+
+/// Serves one client connection until EOF, shutdown, or an
+/// unrecoverable framing violation.
+fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    loop {
+        match read_frame(&mut stream) {
+            Ok(FrameRead::Idle) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(payload)) => {
+                let t0 = Instant::now();
+                let (response, close) = handle_payload(&shared, &payload);
+                let sent = send_response(&mut stream, &response);
+                shared
+                    .metrics
+                    .latency_us
+                    .observe(t0.elapsed().as_secs_f64() * 1e6);
+                if close || !sent {
+                    return;
+                }
+            }
+            Err(err) => {
+                let code = err.code();
+                match err {
+                    FrameError::EmptyPayload => {
+                        shared.metrics.err_counter(code).inc();
+                        let resp =
+                            WireResponse::error(code, "frame declared a zero-length payload");
+                        if !send_response(&mut stream, &resp) {
+                            return;
+                        }
+                    }
+                    FrameError::Oversized { declared, drained } => {
+                        shared.metrics.err_counter(code).inc();
+                        let resp = WireResponse::error(
+                            code,
+                            format!(
+                                "declared payload {declared} B exceeds the {} B limit",
+                                crate::protocol::MAX_PAYLOAD
+                            ),
+                        );
+                        let sent = send_response(&mut stream, &resp);
+                        if !drained || !sent {
+                            return;
+                        }
+                    }
+                    FrameError::BadMagic(got) => {
+                        shared.metrics.err_counter(code).inc();
+                        let resp = WireResponse::error(
+                            code,
+                            format!("bad frame magic {got:02x?}; expected \"FSV1\""),
+                        );
+                        // Best-effort response; the stream cannot be
+                        // resynchronized, so close either way.
+                        let _ = send_response(&mut stream, &resp);
+                        return;
+                    }
+                    FrameError::Truncated => {
+                        shared.metrics.err_truncated.inc();
+                        return;
+                    }
+                    FrameError::Io(_) => {
+                        shared.metrics.err_truncated.inc();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Encodes and writes a response frame; `false` means the peer is gone.
+fn send_response(stream: &mut TcpStream, response: &WireResponse) -> bool {
+    match encode_json(response) {
+        Ok(payload) => write_frame(stream, &payload).is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Dispatches one parsed frame. Returns the response and whether the
+/// connection must close afterwards.
+fn handle_payload(shared: &Shared, payload: &[u8]) -> (WireResponse, bool) {
+    let request: WireRequest = match decode_json(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.err_bad_json.inc();
+            return (
+                WireResponse::error(codes::BAD_JSON, format!("unparseable request: {e}")),
+                false,
+            );
+        }
+    };
+    let response = match request.kind.as_str() {
+        "ping" => WireResponse::pong(shared.slot.read().seq, shared.digest),
+        "stats" => WireResponse::stats(shared.stats()),
+        "reload" => match shared.try_reload() {
+            Ok((reloaded, seq)) => WireResponse::reloaded(reloaded, seq),
+            Err(msg) => WireResponse::error(codes::RELOAD_FAILED, msg),
+        },
+        "decide" => return (handle_decide(shared, request), false),
+        other => {
+            shared.metrics.err_bad_request.inc();
+            WireResponse::error(
+                codes::BAD_REQUEST,
+                format!("unknown request kind {other:?}"),
+            )
+        }
+    };
+    (response, false)
+}
+
+fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
+    let Some(obs) = request.obs else {
+        shared.metrics.err_bad_request.inc();
+        return WireResponse::error(codes::BAD_REQUEST, "decide request carries no obs");
+    };
+    if obs.len() != shared.obs_dim {
+        shared.metrics.err_dim_mismatch.inc();
+        return WireResponse::error(
+            codes::DIM_MISMATCH,
+            format!(
+                "observation has dim {}, served controller wants {}",
+                obs.len(),
+                shared.obs_dim
+            ),
+        );
+    }
+    if !obs.iter().all(|v| v.is_finite()) {
+        shared.metrics.err_bad_request.inc();
+        return WireResponse::error(codes::BAD_REQUEST, "observation has non-finite values");
+    }
+    if let Some(pinned) = request.digest {
+        if pinned != shared.digest {
+            shared.metrics.err_digest_mismatch.inc();
+            return WireResponse::error(
+                codes::DIGEST_MISMATCH,
+                format!(
+                    "request pinned config digest {pinned:08x}, serving {:08x}",
+                    shared.digest
+                ),
+            );
+        }
+    }
+    let (tx, rx) = channel();
+    shared.queue.push(Pending { obs, tx });
+    match rx.recv() {
+        Ok(Ok((seq, freqs))) => WireResponse::decided(seq, freqs),
+        Ok(Err(msg)) => {
+            shared.metrics.err_internal.inc();
+            WireResponse::error(codes::INTERNAL, msg)
+        }
+        Err(_) => {
+            shared.metrics.err_internal.inc();
+            WireResponse::error(codes::INTERNAL, "server shut down mid-request")
+        }
+    }
+}

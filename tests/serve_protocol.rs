@@ -1,0 +1,324 @@
+//! Protocol robustness suite for the fl-serve decision server.
+//!
+//! Contract under test: every malformed input — truncated headers,
+//! corrupted magic, oversized length prefixes, zero-length payloads,
+//! garbage JSON, semantically invalid requests, config-digest mismatches —
+//! is answered with a structured error code on the wire (or, where no
+//! response is possible, counted), and the server *survives* to answer the
+//! next well-formed request: on the same connection whenever the stream is
+//! still in sync, on a fresh connection otherwise. Never a panic, never a
+//! silently closed socket.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use fl_rl::snapshot::CheckpointStore;
+use fl_serve::protocol::{codes, DRAIN_CAP, FRAME_MAGIC, MAX_PAYLOAD};
+use fl_serve::{DecisionServer, ServeClient, ServeError, ServeOptions, WireRequest};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One server shared by every test in this suite: surviving all of them
+/// concurrently *is* the property under test.
+fn server() -> &'static DecisionServer {
+    static SERVER: OnceLock<DecisionServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let dir = common::temp_dir("proto");
+        let (_sys, snap) = common::make_snapshot(11);
+        let store = CheckpointStore::new(&dir).unwrap();
+        snap.save(&store).unwrap();
+        DecisionServer::start(&dir, "127.0.0.1:0", ServeOptions::default()).unwrap()
+    })
+}
+
+fn client() -> ServeClient {
+    let mut c = ServeClient::connect(server().local_addr()).unwrap();
+    // No assertion below should ever block forever on a silent server.
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c
+}
+
+/// Asserts `resp` is a structured error with `code`.
+fn expect_code(resp: Result<fl_serve::WireResponse, ServeError>, code: &str) {
+    let resp = resp.expect("server must answer with a frame, not silence");
+    assert!(!resp.ok, "expected error {code}, got ok response {resp:?}");
+    assert_eq!(resp.error_parts().0, code);
+}
+
+/// The server must still serve well-formed traffic on this connection.
+fn assert_alive(client: &mut ServeClient) {
+    let (seq, digest) = client.ping().expect("server must survive");
+    assert_eq!(seq, 1);
+    assert_eq!(digest, server().config_digest());
+}
+
+/// ... and always on a fresh connection.
+fn assert_alive_fresh() {
+    assert_alive(&mut client());
+}
+
+#[test]
+fn well_formed_decide_roundtrip() {
+    let mut c = client();
+    let obs = vec![0.25; server().obs_dim()];
+    let (seq, freqs) = c.decide(&obs).unwrap();
+    assert_eq!(seq, 1);
+    assert_eq!(freqs.len(), server().action_dim());
+    for f in &freqs {
+        assert!(f.is_finite() && *f > 0.0, "served frequency {f} invalid");
+    }
+    // Pinning the correct digest also works.
+    let (_, pinned) = c.decide_pinned(&obs, server().config_digest()).unwrap();
+    assert_eq!(freqs, pinned);
+}
+
+#[test]
+fn truncated_header_drops_cleanly() {
+    {
+        let mut c = client();
+        c.send_raw(&FRAME_MAGIC[..2]).unwrap();
+        // Drop mid-header.
+    }
+    {
+        let mut c = client();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.extend_from_slice(&64u32.to_le_bytes());
+        frame.extend_from_slice(b"only twenty bytes...");
+        c.send_raw(&frame).unwrap();
+        // Drop mid-payload.
+    }
+    assert_alive_fresh();
+}
+
+#[test]
+fn bad_magic_answered_then_closed() {
+    let mut c = client();
+    c.send_raw(b"GET / HTTP/1.1\r\n").unwrap();
+    expect_code(c.read_response(), codes::BAD_MAGIC);
+    // The stream cannot be resynchronized: the server closes it.
+    assert!(c.read_response().is_err());
+    assert_alive_fresh();
+}
+
+#[test]
+fn zero_length_payload_survives_same_connection() {
+    let mut c = client();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    c.send_raw(&frame).unwrap();
+    expect_code(c.read_response(), codes::EMPTY_PAYLOAD);
+    assert_alive(&mut c);
+}
+
+#[test]
+fn oversized_drainable_survives_same_connection() {
+    let mut c = client();
+    let declared = MAX_PAYLOAD + 1;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&declared.to_le_bytes());
+    frame.extend_from_slice(&vec![b'x'; declared as usize]);
+    c.send_raw(&frame).unwrap();
+    expect_code(c.read_response(), codes::OVERSIZED);
+    assert_alive(&mut c);
+}
+
+#[test]
+fn oversized_beyond_drain_cap_answered_then_closed() {
+    let mut c = client();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(DRAIN_CAP + 1).to_le_bytes());
+    c.send_raw(&frame).unwrap();
+    expect_code(c.read_response(), codes::OVERSIZED);
+    assert!(c.read_response().is_err(), "connection must close");
+    assert_alive_fresh();
+}
+
+#[test]
+fn garbage_json_survives_same_connection() {
+    let mut c = client();
+    for payload in [
+        &b"{\"kind\": \"decide\", obs"[..],
+        &b"\xff\xfe binary trash"[..],
+        &b"[1, 2, 3]"[..],
+        &b"null"[..],
+    ] {
+        c.send_payload(payload).unwrap();
+        expect_code(c.read_response(), codes::BAD_JSON);
+    }
+    assert_alive(&mut c);
+}
+
+#[test]
+fn semantic_errors_survive_same_connection() {
+    let mut c = client();
+    let obs_dim = server().obs_dim();
+
+    // Unknown request kind.
+    let mut req = WireRequest::ping();
+    req.kind = "frobnicate".to_string();
+    expect_code(c.request(&req), codes::BAD_REQUEST);
+
+    // decide without an observation.
+    let no_obs = WireRequest {
+        kind: "decide".to_string(),
+        obs: None,
+        digest: None,
+    };
+    expect_code(c.request(&no_obs), codes::BAD_REQUEST);
+
+    // Wrong observation dimension.
+    expect_code(
+        c.request(&WireRequest::decide(vec![0.0; obs_dim + 1])),
+        codes::DIM_MISMATCH,
+    );
+    expect_code(
+        c.request(&WireRequest::decide(Vec::new())),
+        codes::DIM_MISMATCH,
+    );
+
+    // Non-finite observation values (JSON null round-trips to NaN).
+    let mut obs = vec![0.0; obs_dim];
+    obs[0] = f64::NAN;
+    expect_code(c.request(&WireRequest::decide(obs)), codes::BAD_REQUEST);
+
+    // Config-digest mismatch.
+    expect_code(
+        c.request(&WireRequest::decide_pinned(
+            vec![0.0; obs_dim],
+            server().config_digest().wrapping_add(1),
+        )),
+        codes::DIGEST_MISMATCH,
+    );
+
+    assert_alive(&mut c);
+}
+
+#[test]
+fn stats_expose_error_counters() {
+    let mut c = client();
+    // Trigger one error of each in-band kind on this connection.
+    c.send_payload(b"not json").unwrap();
+    expect_code(c.read_response(), codes::BAD_JSON);
+    expect_code(
+        c.request(&WireRequest::decide(vec![1.0])),
+        codes::DIM_MISMATCH,
+    );
+    let stats = c.stats().unwrap();
+    assert!(stats.errors.bad_json >= 1);
+    assert!(stats.errors.dim_mismatch >= 1);
+    assert_eq!(stats.seq, 1);
+    assert_eq!(stats.obs_dim, server().obs_dim());
+    // Latency was recorded for the error responses too.
+    assert!(stats.latency_us.count >= 2);
+    assert!(stats.latency_us.p99_us >= stats.latency_us.p50_us);
+}
+
+/// What a generated corruption should produce.
+enum Expected {
+    /// Structured error, stream still in sync: assert code, then reuse the
+    /// connection.
+    ErrorThenAlive(&'static str),
+    /// Structured error, then the server closes: assert code, fresh
+    /// connection must work.
+    ErrorThenClose(&'static str),
+    /// No response possible (mid-frame drop): just drop and verify the
+    /// server on a fresh connection.
+    DropThenFresh,
+}
+
+fn apply_corruption(case: u8, garbage: &[u8], c: &mut ServeClient) -> Expected {
+    match case {
+        // Corrupted magic: prepend garbage where the magic belongs.
+        0 => {
+            let mut frame = Vec::from(*b"ZZV1");
+            frame.extend_from_slice(&(4u32).to_le_bytes());
+            frame.extend_from_slice(b"ping");
+            c.send_raw(&frame).unwrap();
+            Expected::ErrorThenClose(codes::BAD_MAGIC)
+        }
+        // Truncated header: a prefix of a valid frame, then drop.
+        1 => {
+            let cut = 1 + garbage.len() % 7; // 1..=7 of the 8 header bytes
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&FRAME_MAGIC);
+            frame.extend_from_slice(&(8u32).to_le_bytes());
+            c.send_raw(&frame[..cut]).unwrap();
+            Expected::DropThenFresh
+        }
+        // Declared more than sent, then drop mid-payload.
+        2 => {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&FRAME_MAGIC);
+            frame.extend_from_slice(&(garbage.len() as u32 + 64).to_le_bytes());
+            frame.extend_from_slice(garbage);
+            c.send_raw(&frame).unwrap();
+            Expected::DropThenFresh
+        }
+        // Zero-length payload.
+        3 => {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&FRAME_MAGIC);
+            frame.extend_from_slice(&0u32.to_le_bytes());
+            c.send_raw(&frame).unwrap();
+            Expected::ErrorThenAlive(codes::EMPTY_PAYLOAD)
+        }
+        // Garbage JSON in a well-formed frame.
+        4 => {
+            let payload = if garbage.is_empty() {
+                b"{" as &[u8]
+            } else {
+                garbage
+            };
+            c.send_payload(payload).unwrap();
+            Expected::ErrorThenAlive(codes::BAD_JSON)
+        }
+        // Oversized-but-drainable length prefix.
+        _ => {
+            let declared = MAX_PAYLOAD + 1 + (garbage.len() as u32);
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&FRAME_MAGIC);
+            frame.extend_from_slice(&declared.to_le_bytes());
+            frame.extend_from_slice(&vec![0u8; declared as usize]);
+            c.send_raw(&frame).unwrap();
+            Expected::ErrorThenAlive(codes::OVERSIZED)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated corruption yields its structured error code (where a
+    /// response is possible) and the server answers the next well-formed
+    /// request — on the same connection when the stream is in sync.
+    #[test]
+    fn generated_corruptions_get_structured_errors(
+        case in 0u8..6,
+        garbage in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut c = client();
+        match apply_corruption(case, &garbage, &mut c) {
+            Expected::ErrorThenAlive(code) => {
+                let resp = c.read_response().expect("structured error expected");
+                prop_assert!(!resp.ok);
+                prop_assert_eq!(resp.error_parts().0, code);
+                let (seq, _) = c.ping().expect("same connection must survive");
+                prop_assert_eq!(seq, 1);
+            }
+            Expected::ErrorThenClose(code) => {
+                let resp = c.read_response().expect("structured error expected");
+                prop_assert!(!resp.ok);
+                prop_assert_eq!(resp.error_parts().0, code);
+                prop_assert!(c.read_response().is_err(), "connection must close");
+            }
+            Expected::DropThenFresh => drop(c),
+        }
+        let (seq, _) = client().ping().expect("fresh connection must work");
+        prop_assert_eq!(seq, 1);
+    }
+}

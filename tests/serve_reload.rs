@@ -1,0 +1,254 @@
+//! Hot-reload race suite: client threads hammer `decide` while checkpoints
+//! swap underneath in a loop.
+//!
+//! Contract under test:
+//! * zero dropped or failed requests during reloads,
+//! * every response is attributable to exactly one snapshot: its `seq`
+//!   maps to one known weight variant, and its frequencies are bit-equal
+//!   to that variant's in-process decision (no torn reads — a batch can
+//!   never mix weights from two snapshots),
+//! * a reload pointing at a corrupt newest slot falls back per
+//!   `CheckpointStore` semantics; all-corrupt and config-drift reloads
+//!   fail with a structured `reload_failed` while the loaded snapshot
+//!   keeps serving.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use fl_ctrl::ControllerSnapshot;
+use fl_rl::snapshot::CheckpointStore;
+use fl_serve::protocol::codes;
+use fl_serve::{DecisionServer, ServeClient, ServeError, ServeOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENT_THREADS: usize = 4;
+const DECIDES_PER_THREAD: usize = 150;
+
+/// Which variant's bits a response carries, or proof of a torn read.
+fn match_variant(freqs: &[f64], per_variant: &[Vec<f64>]) -> Option<usize> {
+    per_variant.iter().position(|expected| {
+        freqs.len() == expected.len()
+            && freqs
+                .iter()
+                .zip(expected)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    })
+}
+
+#[test]
+fn hammer_while_reloading_zero_drops_zero_torn_reads() {
+    let (sys, snap_a) = common::make_snapshot(31);
+    let snap_b = common::variant_snapshot(&snap_a, 777);
+    assert_eq!(
+        snap_a.config_digest().unwrap(),
+        snap_b.config_digest().unwrap(),
+        "variants must share the serving config"
+    );
+    let dir = common::temp_dir("soak");
+    let store = CheckpointStore::new(&dir).unwrap();
+    snap_a.save(&store).unwrap(); // seq 1
+
+    let times = common::obs_times(CLIENT_THREADS);
+    let rows = common::obs_rows(&sys, &times);
+    // Expected bits per (row, variant), via the same batched path the
+    // server uses. Variant index 0 = A, 1 = B.
+    let expected_a = snap_a.decide_rows(&rows).unwrap();
+    let expected_b = snap_b.decide_rows(&rows).unwrap();
+
+    let opts = ServeOptions {
+        linger: Duration::from_micros(200),
+        ..ServeOptions::default()
+    };
+    let server = DecisionServer::start(&dir, "127.0.0.1:0", opts).unwrap();
+    let addr = server.local_addr();
+
+    // Swapper: keep saving A/B alternately and asking the server to adopt.
+    let stop = Arc::new(AtomicBool::new(false));
+    let swapper = {
+        let stop = Arc::clone(&stop);
+        let (snap_a, snap_b) = (snap_a.clone(), snap_b.clone());
+        std::thread::spawn(move || {
+            let store = CheckpointStore::new(&dir).unwrap();
+            let mut client = ServeClient::connect(addr).unwrap();
+            let mut flip = 0u64;
+            let mut swaps = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                flip += 1;
+                let saved_seq = if flip.is_multiple_of(2) {
+                    snap_a.save(&store).unwrap()
+                } else {
+                    snap_b.save(&store).unwrap()
+                };
+                let (swapped, serving_seq) = client.reload().unwrap();
+                assert!(swapped, "a fresh save must always swap");
+                assert_eq!(serving_seq, saved_seq);
+                swaps += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            swaps
+        })
+    };
+
+    // Hammer threads: every decide must succeed and carry untorn bits.
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|tid| {
+            let row = rows[tid].clone();
+            let (ea, eb) = (expected_a[tid].clone(), expected_b[tid].clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                // (seq -> variant) observed by this thread.
+                let mut attribution: HashMap<u64, usize> = HashMap::new();
+                for i in 0..DECIDES_PER_THREAD {
+                    let (seq, freqs) = client
+                        .decide(&row)
+                        .unwrap_or_else(|e| panic!("thread {tid} request {i} dropped: {e}"));
+                    let variant =
+                        match_variant(&freqs, &[ea.clone(), eb.clone()]).unwrap_or_else(|| {
+                            panic!(
+                                "thread {tid} request {i}: torn read — seq {seq} bits match \
+                                 neither variant: {freqs:?}"
+                            )
+                        });
+                    attribution.insert(seq, variant);
+                }
+                attribution
+            })
+        })
+        .collect();
+
+    let mut global: HashMap<u64, usize> = HashMap::new();
+    let mut total_seqs_seen = 0usize;
+    for h in handles {
+        let attribution = h.join().unwrap();
+        total_seqs_seen += attribution.len();
+        for (seq, variant) in attribution {
+            // Across all threads, one seq must always mean one variant.
+            if let Some(prev) = global.insert(seq, variant) {
+                assert_eq!(
+                    prev, variant,
+                    "snapshot seq {seq} served two different weight variants"
+                );
+            }
+        }
+    }
+    stop.store(true, Ordering::Release);
+    let swaps = swapper.join().unwrap();
+    let stats = server.shutdown();
+
+    assert!(swaps >= 3, "soak too short: only {swaps} reloads happened");
+    assert_eq!(stats.reloads, swaps);
+    assert_eq!(stats.reload_errors, 0);
+    assert_eq!(
+        stats.decisions,
+        (CLIENT_THREADS * DECIDES_PER_THREAD) as u64,
+        "every request must be served exactly once"
+    );
+    assert!(total_seqs_seen > 0);
+    // Consistency of the attribution map with the save parity: even seqs
+    // were saves of B (flip starts at 1 → seq 2 is B? seq 1 is A), odd = A.
+    for (seq, variant) in &global {
+        let expected_variant = if seq % 2 == 1 { 0 } else { 1 };
+        assert_eq!(
+            *variant, expected_variant,
+            "seq {seq} attributed to the wrong saved variant"
+        );
+    }
+}
+
+#[test]
+fn reload_with_corrupt_newest_slot_falls_back() {
+    let (sys, snap) = common::make_snapshot(32);
+    let dir = common::temp_dir("fallback");
+    let store = CheckpointStore::new(&dir).unwrap();
+    snap.save(&store).unwrap(); // seq 1
+    let server = DecisionServer::start(&dir, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let row = common::obs_rows(&sys, &common::obs_times(1)).remove(0);
+    let expected = snap
+        .decide_rows(std::slice::from_ref(&row))
+        .unwrap()
+        .remove(0);
+
+    // Save seq 2 and corrupt its slot: reload must fall back to seq 1 (a
+    // no-op swap) per the store's survivor semantics.
+    let variant = common::variant_snapshot(&snap, 999);
+    variant.save(&store).unwrap(); // seq 2
+    for path in store.slot_paths() {
+        let bytes = std::fs::read(&path).unwrap();
+        if fl_rl::snapshot::decode_frame(&bytes).unwrap().0 == 2 {
+            let mut bad = bytes;
+            let last = bad.len() - 1;
+            bad[last] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+        }
+    }
+    let (swapped, seq) = client.reload().unwrap();
+    assert!(!swapped, "fallback to the already-serving seq is a no-op");
+    assert_eq!(seq, 1);
+    let (seq, freqs) = client.decide(&row).unwrap();
+    assert_eq!(seq, 1);
+    assert_eq!(freqs, expected);
+
+    // Corrupt the survivor too (different byte, so the first corruption is
+    // not undone): reload fails structurally, serving continues.
+    for path in store.slot_paths() {
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    match client.reload() {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, codes::RELOAD_FAILED),
+        other => panic!("expected reload_failed, got {other:?}"),
+    }
+    let (seq, freqs) = client.decide(&row).unwrap();
+    assert_eq!(seq, 1, "the loaded snapshot must keep serving");
+    assert_eq!(freqs, expected);
+    let stats = client.stats().unwrap();
+    assert!(stats.reload_errors >= 1);
+    assert_eq!(stats.reloads, 0);
+}
+
+#[test]
+fn reload_refuses_config_drift() {
+    let (sys, snap) = common::make_snapshot(33);
+    let dir = common::temp_dir("drift");
+    let store = CheckpointStore::new(&dir).unwrap();
+    snap.save(&store).unwrap(); // seq 1
+    let server = DecisionServer::start(&dir, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let row = common::obs_rows(&sys, &common::obs_times(1)).remove(0);
+    let expected = snap
+        .decide_rows(std::slice::from_ref(&row))
+        .unwrap()
+        .remove(0);
+
+    // A snapshot with different frequency caps: valid on disk, but its
+    // config digest differs — adopting it would silently change what
+    // served actions mean.
+    let mut caps = snap.delta_max_ghz.clone();
+    caps[0] += 0.5;
+    let drifted = ControllerSnapshot::new(snap.controller.clone(), caps).unwrap();
+    assert_ne!(
+        snap.config_digest().unwrap(),
+        drifted.config_digest().unwrap()
+    );
+    drifted.save(&store).unwrap(); // seq 2
+
+    match client.reload() {
+        Err(ServeError::Server { code, msg }) => {
+            assert_eq!(code, codes::RELOAD_FAILED);
+            assert!(msg.contains("digest"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected reload_failed, got {other:?}"),
+    }
+    // Still serving seq 1 with the original bits; digest pin still holds.
+    let (seq, freqs) = client.decide_pinned(&row, server.config_digest()).unwrap();
+    assert_eq!(seq, 1);
+    assert_eq!(freqs, expected);
+}
