@@ -14,6 +14,9 @@
 //! de-optimized blocked kernel.
 
 use fl_nn::{KernelKind, Matrix};
+use fl_rl::{GaussianPolicy, ValueNet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -68,8 +71,12 @@ fn mk(rows: usize, cols: usize, salt: usize) -> Matrix {
 /// kernels; the fused case compares one fused sweep against the reference's
 /// unfused matmul-then-broadcast; transpose covers the tiled copy.
 ///
-/// All matmuls force the serial path (`parallel: false`) so the measurement
-/// is a single-thread kernel comparison regardless of host core count.
+/// All kernel-vs-kernel matmuls force the serial path (`parallel: false`)
+/// so the measurement is a single-thread kernel comparison regardless of
+/// host core count. The two scheduling cases (`matmul_256_par4`,
+/// `rollout_forward_batched_32`) instead pin the kernel family and vary the
+/// *schedule* — worker count and batching — which the bit-exactness
+/// contract guarantees cannot change results.
 pub fn ops() -> Vec<KernelOp> {
     let mut ops = Vec::new();
     for n in [32usize, 64, 128] {
@@ -123,6 +130,56 @@ pub fn ops() -> Vec<KernelOp> {
                 }
                 KernelKind::Naive => {
                     black_box(a.naive_transpose());
+                }
+            }),
+        });
+    }
+    // Pool-parallel GEMM: the two "families" here are worker counts, not
+    // kernel kinds — the blocked slot runs the row-block-partitioned path on
+    // 4 workers, the naive slot the same blocked kernel serially, so the
+    // reported speedup is 4-workers-vs-1 on a 256^2 matmul (well above the
+    // `parallel_dispatch` threshold). Bit-identical by the partition
+    // argument in DESIGN.md, so this is a pure scheduling comparison.
+    {
+        let a = mk(256, 256, 10);
+        let b = mk(256, 256, 11);
+        ops.push(KernelOp {
+            name: "matmul_256_par4".to_string(),
+            f: Box::new(move |kind| {
+                let workers = match kind {
+                    KernelKind::Blocked => 4,
+                    KernelKind::Naive => 1,
+                };
+                black_box(
+                    a.matmul_par_with_workers(&b, KernelKind::Blocked, workers)
+                        .unwrap(),
+                );
+            }),
+        });
+    }
+    // Batched rollout forward: the blocked slot runs ONE `32 x obs` policy
+    // mean + value forward (what `RolloutMode::Batched` does per step for a
+    // 32-env fleet), the naive slot the same work as 32 single-row forwards
+    // (the per-env schedule). Row bits are identical either way; the
+    // speedup is the per-call overhead amortization the batched rollout
+    // buys. Kernel family is pinned to Blocked in both slots.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let policy = GaussianPolicy::new(18, &[64, 64], 4, -0.5, &mut rng).unwrap();
+        let value = ValueNet::new(18, &[64, 64], &mut rng).unwrap();
+        let obs = mk(32, 18, 12);
+        ops.push(KernelOp {
+            name: "rollout_forward_batched_32".to_string(),
+            f: Box::new(move |kind| match kind {
+                KernelKind::Blocked => {
+                    black_box(policy.mean_actions(&obs).unwrap());
+                    black_box(value.predict_batch(&obs).unwrap());
+                }
+                KernelKind::Naive => {
+                    for r in 0..obs.rows() {
+                        black_box(policy.mean_action(obs.row(r)).unwrap());
+                        black_box(value.predict(obs.row(r)).unwrap());
+                    }
                 }
             }),
         });
@@ -202,6 +259,8 @@ mod tests {
                 "matmul_nt_64",
                 "matmul_add_bias_64",
                 "transpose_256",
+                "matmul_256_par4",
+                "rollout_forward_batched_32",
             ]
         );
         for c in &report.cases {

@@ -8,7 +8,7 @@ use crate::supervise::{
 };
 use crate::{CtrlError, Result};
 use fl_obs::{Event, Recorder};
-use fl_rl::runner::{RunnerState, VecEnvRunner};
+use fl_rl::runner::{RolloutMode, RunnerState, VecEnvRunner};
 use fl_rl::snapshot::{self, CheckpointStore, RngState};
 use fl_rl::{Environment, PpoAgent, PpoConfig, RolloutBuffer, Transition};
 use fl_sim::FlSystem;
@@ -250,6 +250,12 @@ pub struct RunOptions {
     /// stream. Recording never consumes RNG and never branches training:
     /// runs with and without it are bit-identical.
     pub obs: Recorder,
+    /// Rollout scheduling mode for the parallel path (`None` defers to the
+    /// `FL_ROLLOUT` environment variable via [`RolloutMode::from_env`]).
+    /// Physical state, like the worker count: both modes are bit-identical,
+    /// so a resumed run may switch modes freely — the default therefore
+    /// keeps `RunOptions::default()` inert. Ignored by the serial path.
+    pub rollout: Option<RolloutMode>,
 }
 
 impl RunOptions {
@@ -826,6 +832,9 @@ pub fn train_drl_parallel_opt(
             // every slot (env state, stream, position) from the checkpoint,
             // so the master seed is never re-drawn on resume.
             let mut runner = VecEnvRunner::new(envs, 0, par.workers).map_err(CtrlError::from)?;
+            if let Some(mode) = opts.rollout {
+                runner.set_rollout_mode(mode);
+            }
             runner.set_recorder(opts.obs.clone());
             let saved = st.runner.as_ref().ok_or_else(|| {
                 CtrlError::InvalidArgument(
@@ -849,6 +858,9 @@ pub fn train_drl_parallel_opt(
             let master_seed = rand::RngCore::next_u64(rng);
             let mut runner =
                 VecEnvRunner::new(envs, master_seed, par.workers).map_err(CtrlError::from)?;
+            if let Some(mode) = opts.rollout {
+                runner.set_rollout_mode(mode);
+            }
             runner.set_recorder(opts.obs.clone());
             let st = TrainState {
                 config_digest: digest,

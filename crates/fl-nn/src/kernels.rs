@@ -378,7 +378,19 @@ pub(crate) fn blocked_matmul_nt(a: &[f64], b: &[f64], out: &mut [f64], k: usize,
     }
     let mut bt = vec![0.0f64; k * n];
     blocked_transpose(b, &mut bt, n, k);
-    run_matmul::<false, false>(a, &bt, &[], out, k, n);
+    blocked_matmul_nt_pret(a, &bt, out, k, n);
+}
+
+/// The row-range half of [`blocked_matmul_nt`]: `out = a · bt` where `bt`
+/// is the **already materialized** `b^T` (`k x n`), no zero-skip. Split
+/// out so `Matrix` can transpose once and row-partition this body across
+/// the pool — each chunk then runs the exact op sequence the serial `nt`
+/// kernel runs after its own internal transpose.
+pub(crate) fn blocked_matmul_nt_pret(a: &[f64], bt: &[f64], out: &mut [f64], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    run_matmul::<false, false>(a, bt, &[], out, k, n);
 }
 
 /// Blocked transpose copy: walks `TR_TILE x TR_TILE` tiles so both the

@@ -5,9 +5,24 @@ use crate::{NnError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Element count (`m * n * k`) above which [`Matrix::matmul`] fans out across
-/// threads. Small PPO-sized matrices stay single-threaded — the scoped-thread
-/// setup costs more than it saves below roughly this many multiply-adds.
+/// the shared work-stealing pool. Small PPO-sized matrices stay
+/// single-threaded — the pool-round setup costs more than it saves below
+/// roughly this many multiply-adds.
 const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// The parallel-dispatch decision: `true` iff a `m x k` by `k x n` product
+/// takes the row-split pool path.
+///
+/// A **pure function of the shape** — deliberately independent of the pool
+/// width, core count, and every other physical property of the host — so a
+/// matrix exactly at the cutoff picks the same path on every machine and
+/// under every `FL_WORKERS`. (The path itself is bit-invariant either way;
+/// shape-only dispatch additionally keeps *which code ran* reproducible,
+/// which matters when diagnosing perf or a miscompilation.) Requires
+/// `m >= 2` because a single output row cannot be split.
+fn par_dispatch(m: usize, k: usize, n: usize) -> bool {
+    m >= 2 && m.saturating_mul(k).saturating_mul(n) >= PAR_FLOP_THRESHOLD
+}
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -462,8 +477,8 @@ impl Matrix {
     /// Dispatches to the register-tiled blocked kernel (or, under
     /// `FL_KERNEL=naive`, the streaming reference kernel — both produce
     /// bit-identical results; see `kernels`), and splits the row range
-    /// across scoped threads when the multiply-add count exceeds an
-    /// internal threshold.
+    /// across the shared work-stealing pool (`FL_WORKERS` bounds the
+    /// width) when the shape-only [`par_dispatch`] predicate fires.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         self.matmul_impl(other, kernels::kernel_kind(), true)
     }
@@ -475,6 +490,84 @@ impl Matrix {
     #[cfg(any(test, feature = "reference-kernels"))]
     pub fn matmul_with(&self, other: &Matrix, kind: KernelKind, parallel: bool) -> Result<Matrix> {
         self.matmul_impl(other, kind, parallel)
+    }
+
+    /// [`Matrix::matmul`] forced down the row-split pool path with an
+    /// explicit worker count, bypassing both the `FL_WORKERS` lookup and
+    /// the size threshold — the conformance suite's probe that row
+    /// splitting is bit-invariant for *any* shape at *any* width.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_par_with_workers(
+        &self,
+        other: &Matrix,
+        kind: KernelKind,
+        workers: usize,
+    ) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if n == 0 {
+            return Ok(out);
+        }
+        let serial = serial_matmul_kernel(kind);
+        Self::row_split_parallel(workers, &self.data, &mut out.data, m, k, n, |a_chunk, o| {
+            serial(a_chunk, &other.data, o, k, n)
+        });
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_nt`] forced down the row-split pool path with an
+    /// explicit worker count (see [`Matrix::matmul_par_with_workers`]).
+    /// The blocked family pre-materializes `other^T` exactly as the serial
+    /// kernel does; the naive family row-splits the reference dot-product
+    /// kernel directly.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_nt_par_with_workers(
+        &self,
+        other: &Matrix,
+        kind: KernelKind,
+        workers: usize,
+    ) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        if n == 0 {
+            return Ok(out);
+        }
+        match kind {
+            KernelKind::Blocked => {
+                let mut bt = vec![0.0f64; k * n];
+                kernels::blocked_transpose(&other.data, &mut bt, n, k);
+                Self::row_split_parallel(workers, &self.data, &mut out.data, m, k, n, |a, o| {
+                    kernels::blocked_matmul_nt_pret(a, &bt, o, k, n)
+                });
+            }
+            KernelKind::Naive => {
+                Self::row_split_parallel(workers, &self.data, &mut out.data, m, k, n, |a, o| {
+                    naive_matmul_nt(a, &other.data, o, k, n)
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The parallel-dispatch predicate, exposed for the threshold-edge
+    /// pinning test: the decision must be a pure function of the shape.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn parallel_dispatch(m: usize, k: usize, n: usize) -> bool {
+        par_dispatch(m, k, n)
     }
 
     /// Reference matmul (the original streaming kernel).
@@ -494,10 +587,17 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         let serial = serial_matmul_kernel(kind);
-        if parallel && m * k * n >= PAR_FLOP_THRESHOLD {
-            Self::row_split_parallel(&self.data, &mut out.data, m, k, n, |a_chunk, out_chunk| {
-                serial(a_chunk, &other.data, out_chunk, k, n)
-            });
+        if parallel && par_dispatch(m, k, n) {
+            let workers = fl_pool::env_workers();
+            Self::row_split_parallel(
+                workers,
+                &self.data,
+                &mut out.data,
+                m,
+                k,
+                n,
+                |a_chunk, out_chunk| serial(a_chunk, &other.data, out_chunk, k, n),
+            );
         } else {
             serial(&self.data, &other.data, &mut out.data, k, n);
         }
@@ -548,8 +648,9 @@ impl Matrix {
             KernelKind::Blocked => {
                 let (m, k, n) = (self.rows, self.cols, other.cols);
                 let mut out = Matrix::zeros(m, n);
-                if m * k * n >= PAR_FLOP_THRESHOLD {
+                if par_dispatch(m, k, n) {
                     Self::row_split_parallel(
+                        fl_pool::env_workers(),
                         &self.data,
                         &mut out.data,
                         m,
@@ -587,10 +688,20 @@ impl Matrix {
         }
     }
 
-    /// Splits output rows into contiguous chunks across crossbeam scoped
-    /// threads; each chunk runs `serial` on its slice pair. Row splitting
-    /// never changes any element's accumulation order.
+    /// Splits output rows into contiguous chunks across the shared
+    /// work-stealing pool (`fl_pool::run_indexed`); each chunk runs
+    /// `serial` on its slice pair.
+    ///
+    /// **Why this cannot change bits:** every output element is computed by
+    /// exactly one chunk, and within a chunk the serial kernel runs the
+    /// identical per-element k-ascending op sequence it runs in the
+    /// unsplit call — the row partition only regroups *independent*
+    /// elements, exactly like the column tiling inside the blocked body.
+    /// Worker count, chunk boundaries, and scheduling order are therefore
+    /// unobservable in the output; `workers <= 1` degenerates to the plain
+    /// serial call on the calling thread.
     fn row_split_parallel(
+        workers: usize,
         a: &[f64],
         out: &mut [f64],
         m: usize,
@@ -598,25 +709,24 @@ impl Matrix {
         n: usize,
         serial: impl Fn(&[f64], &mut [f64]) + Sync,
     ) {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(m.max(1));
-        if threads <= 1 {
+        let workers = workers.min(m.max(1));
+        if workers <= 1 || n == 0 {
             serial(a, out);
             return;
         }
-        let rows_per = m.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+        let rows_per = m.div_ceil(workers);
+        let chunks: Vec<(&[f64], &mut [f64])> = out
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(chunk_idx, out_chunk)| {
                 let a_start = chunk_idx * rows_per;
                 let a_rows = out_chunk.len() / n;
-                let a_chunk = &a[a_start * k..(a_start + a_rows) * k];
-                let serial = &serial;
-                scope.spawn(move |_| serial(a_chunk, out_chunk));
-            }
-        })
-        .expect("matmul worker thread panicked");
+                (&a[a_start * k..(a_start + a_rows) * k], out_chunk)
+            })
+            .collect();
+        fl_pool::run_indexed(workers, chunks, |_idx, (a_chunk, out_chunk)| {
+            serial(a_chunk, out_chunk)
+        });
     }
 
     /// `self^T * other` without materializing the transpose.
@@ -650,9 +760,30 @@ impl Matrix {
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         match kind {
+            // Above the threshold the blocked path materializes `a^T`
+            // here (the identical pure-permutation copy the serial kernel
+            // performs internally) and row-splits the same tiled body —
+            // so the parallel product is bit-identical by construction.
+            KernelKind::Blocked if par_dispatch(m, k, n) => {
+                let mut at = vec![0.0f64; k * m];
+                kernels::blocked_transpose(&self.data, &mut at, k, m);
+                Self::row_split_parallel(
+                    fl_pool::env_workers(),
+                    &at,
+                    &mut out.data,
+                    m,
+                    k,
+                    n,
+                    |a_chunk, out_chunk| {
+                        kernels::blocked_matmul(a_chunk, &other.data, out_chunk, k, n)
+                    },
+                );
+            }
             KernelKind::Blocked => {
                 kernels::blocked_matmul_tn(&self.data, &other.data, &mut out.data, k, m, n)
             }
+            // The naive tn reference iterates k in the *outer* loop, so its
+            // row range cannot be partitioned; it stays serial at any size.
             KernelKind::Naive => naive_matmul_tn(&self.data, &other.data, &mut out.data, k, m, n),
         }
         Ok(out)
@@ -689,8 +820,39 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
         match kind {
+            // Parallel nt: materialize `b^T` once (the same tiled copy the
+            // serial kernel performs), then row-split the shared no-skip
+            // body over the pre-transposed operand.
+            KernelKind::Blocked if par_dispatch(m, k, n) => {
+                let mut bt = vec![0.0f64; k * n];
+                kernels::blocked_transpose(&other.data, &mut bt, n, k);
+                Self::row_split_parallel(
+                    fl_pool::env_workers(),
+                    &self.data,
+                    &mut out.data,
+                    m,
+                    k,
+                    n,
+                    |a_chunk, out_chunk| {
+                        kernels::blocked_matmul_nt_pret(a_chunk, &bt, out_chunk, k, n)
+                    },
+                );
+            }
             KernelKind::Blocked => {
                 kernels::blocked_matmul_nt(&self.data, &other.data, &mut out.data, k, n)
+            }
+            // The naive nt reference computes independent per-row dot
+            // products, so its row range partitions like `matmul`'s.
+            KernelKind::Naive if par_dispatch(m, k, n) => {
+                Self::row_split_parallel(
+                    fl_pool::env_workers(),
+                    &self.data,
+                    &mut out.data,
+                    m,
+                    k,
+                    n,
+                    |a_chunk, out_chunk| naive_matmul_nt(a_chunk, &other.data, out_chunk, k, n),
+                );
             }
             KernelKind::Naive => naive_matmul_nt(&self.data, &other.data, &mut out.data, k, n),
         }

@@ -1,17 +1,25 @@
-//! Work-stealing thread pool for deterministic fan-out.
+//! # fl-pool — work-stealing thread pool for deterministic fan-out.
 //!
 //! The pool runs a fixed batch of indexed tasks on `workers` scoped threads
 //! and returns the results **in task-index order**, no matter which worker
 //! executed which task or in what sequence. That slot-indexed collection is
 //! the primitive every parallel layer above (vectorized rollouts, seed
-//! sweeps, controller comparisons) relies on for thread-count-invariant
-//! results: parallelism may reorder *execution*, never *observation*.
+//! sweeps, controller comparisons, row-split matmuls) relies on for
+//! thread-count-invariant results: parallelism may reorder *execution*,
+//! never *observation*.
 //!
 //! Scheduling is classic work stealing: task indices are dealt round-robin
 //! into one deque per worker; a worker pops its own deque from the front
 //! and, when empty, steals from the back of its neighbors'. Because tasks
 //! never enqueue new tasks, a worker that finds every deque empty can
 //! retire immediately — no condition variables needed.
+//!
+//! This crate sits *below* `fl-nn` in the dependency graph so the blocked
+//! GEMM can row-split across the same pool the rollout runner uses;
+//! `fl-rl` re-exports it as `fl_rl::pool` for backward compatibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use crossbeam::thread as cb_thread;
 use parking_lot::Mutex;
@@ -67,18 +75,7 @@ impl<R> PoolRun<R> {
     /// timings. `label` names the workload (e.g. `"rollout"`,
     /// `"seed_sweep"`).
     pub fn obs_event(&self, label: &str) -> fl_obs::Event {
-        let per_worker =
-            serde_json::Value::Array(self.workers.iter().map(WorkerStats::obs_value).collect());
-        fl_obs::Event::phys("pool_round")
-            .s("label", label)
-            .u("workers", self.workers.len() as u64)
-            .u(
-                "tasks",
-                self.workers.iter().map(|w| w.tasks).sum::<usize>() as u64,
-            )
-            .wall_val("per_worker", per_worker)
-            .wall_f("s", self.wall.as_secs_f64())
-            .wall_f("busy_s", self.total_busy().as_secs_f64())
+        round_event(label, &self.workers, self.wall)
     }
 
     /// One-line human summary of the batch ("4 workers, 2.13x speedup").
@@ -110,11 +107,51 @@ impl<R> PoolRun<R> {
     }
 }
 
+/// Builds the physical `pool_round` observability event from worker
+/// telemetry and a wall-clock duration. [`PoolRun::obs_event`] delegates
+/// here; callers that aggregate stats across many pool rounds (the batched
+/// rollout runs one `env.step` fan-out per step) emit the same event shape
+/// without holding a `PoolRun`.
+pub fn round_event(label: &str, workers: &[WorkerStats], wall: Duration) -> fl_obs::Event {
+    let per_worker = serde_json::Value::Array(workers.iter().map(WorkerStats::obs_value).collect());
+    let busy: Duration = workers.iter().map(|w| w.busy).sum();
+    fl_obs::Event::phys("pool_round")
+        .s("label", label)
+        .u("workers", workers.len() as u64)
+        .u(
+            "tasks",
+            workers.iter().map(|w| w.tasks).sum::<usize>() as u64,
+        )
+        .wall_val("per_worker", per_worker)
+        .wall_f("s", wall.as_secs_f64())
+        .wall_f("busy_s", busy.as_secs_f64())
+}
+
 /// Default worker count: the machine's available parallelism.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Worker count honoring the `FL_WORKERS` environment variable: the parsed
+/// value when it is a positive integer, otherwise [`default_workers`].
+///
+/// Read on every call (an env lookup is nothing next to the work a pool
+/// round fans out), so CI matrices and tests that vary `FL_WORKERS`
+/// per-invocation see the live value. Thanks to the determinism contract
+/// the value only ever changes wall-clock time, never results — callers on
+/// hot paths (the parallel matmul) need no further validation or warning
+/// plumbing here; `fl-bench`'s `workers_from_env_obs` adds the loud
+/// variant for the CLI binaries.
+pub fn env_workers() -> usize {
+    match std::env::var("FL_WORKERS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(w) if w >= 1 => w,
+            _ => default_workers(),
+        },
+        Err(_) => default_workers(),
+    }
 }
 
 /// Runs `f(i, items[i])` for every item on a work-stealing pool of

@@ -167,6 +167,22 @@ pub struct ActOutput {
     pub value: f64,
 }
 
+/// One frozen forward over a stack of raw observations — the batched half
+/// of [`PpoAgent::act_frozen`]. The rows are independent by the kernel
+/// bit-exactness contract, so row `i` holds exactly the bits a standalone
+/// `act_frozen` on observation `i` would have produced; only the Gaussian
+/// noise draw is deferred (to [`PpoAgent::sample_frozen_row`], which pulls
+/// from whichever RNG stream owns that row).
+#[derive(Debug, Clone)]
+pub struct FrozenBatch {
+    /// Normalized observations, one row per input observation.
+    pub norm_obs: Matrix,
+    /// `θ_a^old` action means, one row per observation.
+    pub means: Matrix,
+    /// Critic values `V(s; θ_v)`, one per observation.
+    pub values: Vec<f64>,
+}
+
 /// Adam state for the standalone log-std parameter vector.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct AdamVec {
@@ -427,6 +443,58 @@ impl PpoAgent {
             action,
             log_prob,
             value,
+        })
+    }
+
+    /// Runs the frozen act path over a whole stack of raw observations in
+    /// one batched forward: per-row normalization with the frozen
+    /// statistics, a single `θ_a^old` mean forward, and a single critic
+    /// forward. Because every kernel computes each output row with a
+    /// row-count-independent operation sequence, row `i` of the result is
+    /// bit-identical to what [`PpoAgent::act_frozen`] computes for
+    /// observation `i` alone — batching across environments never changes
+    /// trained bits. The noise draw is deliberately *not* part of this
+    /// call; see [`PpoAgent::sample_frozen_row`].
+    pub fn forward_frozen_batch(&self, raw_obs: &[Vec<f64>]) -> Result<FrozenBatch> {
+        let d = self.policy.obs_dim();
+        let mut data = Vec::with_capacity(raw_obs.len() * d);
+        for obs in raw_obs {
+            self.check_obs(obs)?;
+            data.extend(self.obs_norm.normalize(obs));
+        }
+        let norm_obs = Matrix::from_vec(raw_obs.len(), d, data)?;
+        let means = self.policy_old.mean_actions(&norm_obs)?;
+        let values = self.value.predict_batch(&norm_obs)?;
+        Ok(FrozenBatch {
+            norm_obs,
+            means,
+            values,
+        })
+    }
+
+    /// Completes row `row` of a [`FrozenBatch`] into a full [`ActOutput`]
+    /// by drawing the Gaussian noise from `rng` — the same draws, in the
+    /// same order, that [`PpoAgent::act_frozen`] would have made on that
+    /// observation with that RNG ([`GaussianPolicy::sample_with_mean`]
+    /// shares the op sequence with `sample` by construction).
+    pub fn sample_frozen_row(
+        &self,
+        batch: &FrozenBatch,
+        row: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<ActOutput> {
+        if row >= batch.means.rows() {
+            return Err(RlError::InvalidArgument(format!(
+                "frozen batch has {} rows, asked for row {row}",
+                batch.means.rows()
+            )));
+        }
+        let (action, log_prob) = self.policy_old.sample_with_mean(batch.means.row(row), rng);
+        Ok(ActOutput {
+            norm_obs: batch.norm_obs.row(row).to_vec(),
+            action,
+            log_prob,
+            value: batch.values[row],
         })
     }
 
@@ -1031,6 +1099,51 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    /// Batched-rollout contract at the agent level: for any batch size, the
+    /// frozen batched forward plus a per-row noise draw reproduces
+    /// `act_frozen` bit-for-bit — normalized obs, action, log-prob, value,
+    /// and the RNG position afterwards.
+    #[test]
+    fn frozen_batch_rows_match_act_frozen_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        let mut agent = PpoAgent::new(3, 2, small_config(), &mut rng).unwrap();
+        // Warm the normalizer so normalization is non-trivial.
+        for i in 0..16 {
+            let o = [(i as f64 * 0.3).sin(), i as f64 * 0.1, -0.2 * i as f64];
+            agent.act(&o, &mut rng).unwrap();
+        }
+        for n in [1usize, 7, 32] {
+            let obs: Vec<Vec<f64>> = (0..n)
+                .map(|i| (0..3).map(|j| ((i * 3 + j) as f64 * 0.23).cos()).collect())
+                .collect();
+            let batch = agent.forward_frozen_batch(&obs).unwrap();
+            for (i, o) in obs.iter().enumerate() {
+                let mut r1 = ChaCha8Rng::seed_from_u64(60 + i as u64);
+                let mut r2 = r1.clone();
+                let single = agent.act_frozen(o, &mut r1).unwrap();
+                let from_batch = agent.sample_frozen_row(&batch, i, &mut r2).unwrap();
+                let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&single.norm_obs),
+                    bits(&from_batch.norm_obs),
+                    "n={n} row {i}"
+                );
+                assert_eq!(
+                    bits(&single.action),
+                    bits(&from_batch.action),
+                    "n={n} row {i}"
+                );
+                assert_eq!(single.log_prob.to_bits(), from_batch.log_prob.to_bits());
+                assert_eq!(single.value.to_bits(), from_batch.value.to_bits());
+                assert_eq!(r1, r2, "identical RNG consumption");
+            }
+        }
+        // Out-of-range row and bad obs dims are rejected.
+        let batch = agent.forward_frozen_batch(&[vec![0.0; 3]]).unwrap();
+        assert!(agent.sample_frozen_row(&batch, 1, &mut rng).is_err());
+        assert!(agent.forward_frozen_batch(&[vec![0.0; 2]]).is_err());
     }
 
     #[test]

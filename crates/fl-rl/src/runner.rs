@@ -6,7 +6,7 @@
 //! bookkeeping.
 
 use crate::buffer::{RolloutBuffer, Transition};
-use crate::env::{Environment, SnapshotEnv};
+use crate::env::{Environment, SnapshotEnv, Step};
 use crate::pool::{self, WorkerStats};
 use crate::ppo::{PpoAgent, UpdateStats};
 use crate::snapshot::RngState;
@@ -14,7 +14,7 @@ use crate::{Result, RlError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize, Value};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of [`train_steps`].
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +122,46 @@ pub struct EpisodeReport {
     pub steps: usize,
 }
 
+/// How [`VecEnvRunner::train_steps`] schedules policy inference during
+/// collection. The two modes are **bit-identical** by construction (see the
+/// determinism contract on [`VecEnvRunner`]); the choice is purely
+/// physical, like the worker cap, and is therefore not part of
+/// [`RunnerState`] — a resumed run may switch modes freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutMode {
+    /// One pool task per environment: each task advances its environment
+    /// through the whole chunk, calling the frozen agent once per step
+    /// (`1 × obs_dim` forwards).
+    PerEnv,
+    /// Split-step lockstep: every step gathers all environments'
+    /// observations, runs ONE `n_envs × obs_dim` frozen forward through the
+    /// policy and value heads, scatters the per-environment Gaussian draws
+    /// back in environment order, and fans the RNG-free `env.step` calls
+    /// out over the pool. Amortizes per-forward overhead across the fleet.
+    Batched,
+}
+
+impl RolloutMode {
+    /// Resolves the mode from the `FL_ROLLOUT` environment variable:
+    /// `per-env` (or `per_env`/`perenv`) selects [`RolloutMode::PerEnv`];
+    /// everything else — including unset — selects the default,
+    /// [`RolloutMode::Batched`]. Batched is a safe default because the two
+    /// modes produce identical bits.
+    pub fn from_env() -> Self {
+        match std::env::var("FL_ROLLOUT") {
+            Ok(raw) => {
+                let v = raw.trim().to_ascii_lowercase();
+                if v == "per-env" || v == "per_env" || v == "perenv" {
+                    RolloutMode::PerEnv
+                } else {
+                    RolloutMode::Batched
+                }
+            }
+            Err(_) => RolloutMode::Batched,
+        }
+    }
+}
+
 /// Outcome of one [`VecEnvRunner::train_steps`] collection round.
 #[derive(Debug, Clone)]
 pub struct VecRolloutSummary {
@@ -224,9 +264,18 @@ pub struct RunnerState {
 /// The results *do* depend on `n_envs`: vectorization changes the data
 /// order relative to serial [`train_steps`], which is why the contract is
 /// stated per-configuration, not against the serial path.
+///
+/// A fourth mechanism extends the contract across [`RolloutMode`]s: the
+/// batched split-step path computes the same per-row bits as the per-env
+/// path because every kernel evaluates each output row with a
+/// row-count-independent operation sequence, and it consumes each slot's
+/// RNG stream at exactly the same positions (reset draws and per-step noise
+/// draws interleave identically per stream). So `PerEnv` vs `Batched` is
+/// bit-invisible too — only wall-clock changes.
 pub struct VecEnvRunner<E> {
     slots: Vec<EnvSlot<E>>,
     workers: usize,
+    rollout: RolloutMode,
     /// Observability hub (disabled by default): times the rollout fan-out
     /// and records per-round pool telemetry. Never consumes RNG, never
     /// branches collection.
@@ -262,6 +311,7 @@ impl<E: Environment + Send> VecEnvRunner<E> {
         Ok(VecEnvRunner {
             slots,
             workers: workers.max(1),
+            rollout: RolloutMode::from_env(),
             recorder: fl_obs::Recorder::disabled(),
         })
     }
@@ -286,6 +336,17 @@ impl<E: Environment + Send> VecEnvRunner<E> {
     /// Changes the worker cap (results are unaffected — that is the point).
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
+    }
+
+    /// Current rollout scheduling mode.
+    pub fn rollout_mode(&self) -> RolloutMode {
+        self.rollout
+    }
+
+    /// Overrides the rollout scheduling mode. Results are unaffected — both
+    /// modes are bit-identical; only scheduling and wall-clock change.
+    pub fn set_rollout_mode(&mut self, mode: RolloutMode) {
+        self.rollout = mode;
     }
 
     /// Re-derives every slot's RNG stream from `salt` (keeping each slot's
@@ -330,18 +391,27 @@ impl<E: Environment + Send> VecEnvRunner<E> {
             )));
         }
 
-        // Snapshot the agent; workers act through the frozen copy while the
-        // live agent stays on this thread for the merge.
+        // Snapshot the agent; the collection fan-out acts through the
+        // frozen copy while the live agent stays on this thread for the
+        // merge.
         let snapshot = agent.clone();
-        let items: Vec<&mut EnvSlot<E>> = self.slots.iter_mut().collect();
-        let run = {
+        let (chunks, worker_stats, collect_wall) = {
             let _rollout_span = self.recorder.span("rollout");
-            pool::run_indexed(self.workers, items, |env_idx, slot| {
-                collect_chunk(&snapshot, slot, env_idx, steps_per_env)
-            })
+            match self.rollout {
+                RolloutMode::PerEnv => {
+                    let items: Vec<&mut EnvSlot<E>> = self.slots.iter_mut().collect();
+                    let run = pool::run_indexed(self.workers, items, |env_idx, slot| {
+                        collect_chunk(&snapshot, slot, env_idx, steps_per_env)
+                    });
+                    let chunks = run.results.into_iter().collect::<Result<Vec<_>>>()?;
+                    (chunks, run.workers, run.wall)
+                }
+                RolloutMode::Batched => self.collect_batched(&snapshot, steps_per_env)?,
+            }
         };
         if self.recorder.is_enabled() {
-            self.recorder.emit(run.obs_event("rollout"));
+            self.recorder
+                .emit(pool::round_event("rollout", &worker_stats, collect_wall));
         }
 
         let mut summary = VecRolloutSummary {
@@ -349,13 +419,12 @@ impl<E: Environment + Send> VecEnvRunner<E> {
             episodes: Vec::new(),
             total_reward: 0.0,
             updates: Vec::new(),
-            workers: run.workers,
-            collect_wall: run.wall,
+            workers: worker_stats,
+            collect_wall,
         };
         // Merge in environment order — the only place the shared agent,
         // normalizer, and buffer mutate, so worker scheduling is invisible.
-        for chunk in run.results {
-            let chunk = chunk?;
+        for chunk in chunks {
             for record in chunk.records {
                 agent.absorb_obs(&record.raw_obs)?;
                 summary.total_reward += record.reward;
@@ -381,6 +450,121 @@ impl<E: Environment + Send> VecEnvRunner<E> {
             summary.episodes.extend(chunk.episodes);
         }
         Ok(summary)
+    }
+
+    /// Split-step collection ([`RolloutMode::Batched`]): all environments
+    /// advance in lockstep. Each step (1) runs ONE batched frozen forward
+    /// over every environment's observation, (2) scatters the Gaussian
+    /// noise draws serially in environment order — each from its own
+    /// stream, at the same stream position the per-env path would use,
+    /// (3) fans the RNG-free `env.step` calls out over the pool, and
+    /// (4) does episode bookkeeping, including the immediate post-terminal
+    /// reset, serially in environment order. Records accumulate into
+    /// per-environment chunks so the caller's merge is byte-for-byte the
+    /// per-env merge.
+    fn collect_batched(
+        &mut self,
+        snapshot: &PpoAgent,
+        steps_per_env: usize,
+    ) -> Result<(Vec<ChunkOutput>, Vec<WorkerStats>, Duration)> {
+        let start = Instant::now();
+        let n = self.slots.len();
+        let mut chunks: Vec<ChunkOutput> = (0..n)
+            .map(|_| ChunkOutput {
+                records: Vec::with_capacity(steps_per_env),
+                episodes: Vec::new(),
+            })
+            .collect();
+        // Current raw observations, environment order. The first-round
+        // reset here and the post-terminal resets below consume each
+        // slot's stream exactly where the per-env path's resets do.
+        let mut obs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for slot in &mut self.slots {
+            obs.push(match slot.obs.take() {
+                Some(o) => o,
+                None => slot.env.reset(&mut slot.rng)?,
+            });
+        }
+        let mut agg: Vec<WorkerStats> = Vec::new();
+        for _ in 0..steps_per_env {
+            // One frozen forward for the whole fleet.
+            let batch = snapshot.forward_frozen_batch(&obs)?;
+            // Scatter: per-env noise draws from per-env streams, env order.
+            let mut acts = Vec::with_capacity(n);
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                acts.push(snapshot.sample_frozen_row(&batch, i, &mut slot.rng)?);
+            }
+            // Environment stepping takes no RNG, so it parallelizes; the
+            // pool returns results slot-indexed regardless of scheduling.
+            let items: Vec<(&mut E, &[f64])> = self
+                .slots
+                .iter_mut()
+                .map(|s| &mut s.env)
+                .zip(acts.iter().map(|a| a.action.as_slice()))
+                .collect();
+            let run = pool::run_indexed(self.workers, items, |_i, (env, action)| {
+                let step = env.step(action)?;
+                let metric = env.step_metric().unwrap_or(-step.reward);
+                Ok::<(Step, f64), RlError>((step, metric))
+            });
+            merge_worker_stats(&mut agg, &run.workers);
+            for (i, ((slot, act), stepped)) in
+                self.slots.iter_mut().zip(acts).zip(run.results).enumerate()
+            {
+                let (step, metric) = stepped?;
+                slot.ep_reward += step.reward;
+                slot.ep_metric_sum += metric;
+                slot.ep_steps += 1;
+                let next_obs = if step.done {
+                    chunks[i].episodes.push(EpisodeReport {
+                        env: i,
+                        total_reward: slot.ep_reward,
+                        mean_metric: slot.ep_metric_sum / slot.ep_steps.max(1) as f64,
+                        steps: slot.ep_steps,
+                    });
+                    slot.ep_reward = 0.0;
+                    slot.ep_metric_sum = 0.0;
+                    slot.ep_steps = 0;
+                    slot.env.reset(&mut slot.rng)?
+                } else {
+                    step.obs.clone()
+                };
+                chunks[i].records.push(StepRecord {
+                    raw_obs: std::mem::replace(&mut obs[i], next_obs),
+                    norm_obs: act.norm_obs,
+                    action: act.action,
+                    log_prob: act.log_prob,
+                    reward: step.reward,
+                    value: act.value,
+                    done: step.done,
+                    next_raw_obs: step.obs,
+                });
+            }
+        }
+        for (slot, o) in self.slots.iter_mut().zip(obs) {
+            slot.obs = Some(o);
+        }
+        Ok((chunks, agg, start.elapsed()))
+    }
+}
+
+/// Element-wise accumulation of per-worker telemetry across the per-step
+/// pool rounds of a batched collection, so [`VecRolloutSummary::workers`]
+/// reports one aggregate entry per worker in either mode.
+fn merge_worker_stats(agg: &mut Vec<WorkerStats>, round: &[WorkerStats]) {
+    while agg.len() < round.len() {
+        agg.push(WorkerStats {
+            worker: agg.len(),
+            tasks: 0,
+            steals: 0,
+            busy: Duration::ZERO,
+        });
+    }
+    for w in round {
+        let a = &mut agg[w.worker];
+        a.tasks += w.tasks;
+        a.steals += w.steals;
+        a.busy += w.busy;
     }
 }
 
@@ -543,8 +727,12 @@ mod tests {
     }
 
     /// Full snapshot of everything a training round mutates, for exact
-    /// cross-thread-count comparison.
-    fn vec_train_fingerprint(n_envs: usize, workers: usize) -> (Vec<u64>, Vec<u64>, usize) {
+    /// cross-thread-count (and cross-mode) comparison.
+    fn vec_train_fingerprint(
+        n_envs: usize,
+        workers: usize,
+        mode: RolloutMode,
+    ) -> (Vec<u64>, Vec<u64>, usize) {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut a = agent(&mut rng);
         let mut runner = VecEnvRunner::new(
@@ -553,6 +741,7 @@ mod tests {
             workers,
         )
         .unwrap();
+        runner.set_rollout_mode(mode);
         let mut buffer = a.make_buffer().unwrap();
         let mut episode_bits = Vec::new();
         let mut updates = 0;
@@ -579,15 +768,32 @@ mod tests {
 
     #[test]
     fn vec_rollout_identical_for_any_worker_count() {
-        let reference = vec_train_fingerprint(4, 1);
-        for workers in [2, 4, 8] {
+        for mode in [RolloutMode::PerEnv, RolloutMode::Batched] {
+            let reference = vec_train_fingerprint(4, 1, mode);
+            for workers in [2, 4, 8] {
+                assert_eq!(
+                    vec_train_fingerprint(4, workers, mode),
+                    reference,
+                    "workers={workers} diverged from the serial reference ({mode:?})"
+                );
+            }
+            assert!(reference.2 > 0, "rounds large enough to trigger updates");
+        }
+    }
+
+    /// The cross-mode half of the contract: the batched split-step path is
+    /// bit-identical to the per-env path — episodes, update count, and
+    /// final policy parameters — at any worker count.
+    #[test]
+    fn batched_rollout_matches_per_env_bit_for_bit() {
+        let reference = vec_train_fingerprint(4, 1, RolloutMode::PerEnv);
+        for workers in [1, 4] {
             assert_eq!(
-                vec_train_fingerprint(4, workers),
+                vec_train_fingerprint(4, workers, RolloutMode::Batched),
                 reference,
-                "workers={workers} diverged from the serial reference"
+                "batched mode at workers={workers} diverged from per-env"
             );
         }
-        assert!(reference.2 > 0, "rounds large enough to trigger updates");
     }
 
     #[test]
@@ -596,6 +802,9 @@ mod tests {
         let mut a = agent(&mut rng);
         let mut runner =
             VecEnvRunner::new((0..4).map(|_| QuadEnv::new(8)).collect::<Vec<_>>(), 5, 2).unwrap();
+        // Pin per-env mode: the task accounting below (one pool task per
+        // env) is specific to it.
+        runner.set_rollout_mode(RolloutMode::PerEnv);
         let mut buffer = a.make_buffer().unwrap();
         // 4 envs × 32 steps = 128 = buffer capacity → exactly one update.
         let summary = runner
@@ -617,6 +826,33 @@ mod tests {
         }
         let worker_tasks: usize = summary.workers.iter().map(|w| w.tasks).sum();
         assert_eq!(worker_tasks, 4);
+    }
+
+    #[test]
+    fn batched_rollout_bookkeeping() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut a = agent(&mut rng);
+        let mut runner =
+            VecEnvRunner::new((0..4).map(|_| QuadEnv::new(8)).collect::<Vec<_>>(), 5, 2).unwrap();
+        runner.set_rollout_mode(RolloutMode::Batched);
+        assert_eq!(runner.rollout_mode(), RolloutMode::Batched);
+        let mut buffer = a.make_buffer().unwrap();
+        let summary = runner
+            .train_steps(&mut a, &mut buffer, 32, 1.0, &mut rng)
+            .unwrap();
+        assert_eq!(summary.steps, 128);
+        assert_eq!(summary.updates.len(), 1);
+        assert_eq!(buffer.len(), 0);
+        // Episodes still arrive grouped in env order: the batched collector
+        // stores them in per-env chunks, so the merge sees per-env order.
+        assert_eq!(summary.episodes.len(), 16);
+        let envs: Vec<usize> = summary.episodes.iter().map(|e| e.env).collect();
+        let mut sorted = envs.clone();
+        sorted.sort_unstable();
+        assert_eq!(envs, sorted, "episodes must arrive in env order");
+        // One `env.step` pool task per env per step.
+        let worker_tasks: usize = summary.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(worker_tasks, 4 * 32);
     }
 
     #[test]
@@ -687,13 +923,20 @@ mod tests {
         let reference = run_rounds(&mut runner, &mut a, &mut buffer, &mut rng, 2);
 
         // Fresh runner with a *different* constructor seed: import_state
-        // must overwrite every bit of mutable state.
+        // must overwrite every bit of mutable state. The rollout mode is
+        // flipped relative to the original — like the worker count it is
+        // physical state, so resuming under the other mode must continue
+        // bit-identically.
         let mut runner2 = VecEnvRunner::new(
             (0..4).map(|_| QuadEnv::new(8)).collect::<Vec<_>>(),
             12345,
             4,
         )
         .unwrap();
+        runner2.set_rollout_mode(match runner.rollout_mode() {
+            RolloutMode::PerEnv => RolloutMode::Batched,
+            RolloutMode::Batched => RolloutMode::PerEnv,
+        });
         runner2.import_state(&restored).unwrap();
         let resumed = run_rounds(&mut runner2, &mut a2, &mut buffer2, &mut rng2, 2);
         assert_eq!(resumed, reference);

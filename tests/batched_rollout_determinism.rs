@@ -1,0 +1,271 @@
+//! Batched-rollout determinism suite (integration tier).
+//!
+//! The parallel trainer can schedule its rollout phase two ways: `PerEnv`
+//! (each environment's whole chunk is one pool task that interleaves policy
+//! forwards with env steps) and `Batched` (a split-step loop that stacks all
+//! live observations into one `[n_envs x obs]` matrix, runs a single frozen
+//! forward, then fans the env steps out across the pool). The bit-exactness
+//! contract says the choice is *physical*, like the worker count or the
+//! kernel family: it may change wall-clock, never bits.
+//!
+//! This suite proves that end to end:
+//!
+//! - full `train_drl_parallel` runs are fingerprint-identical across
+//!   rollout mode x worker count x kernel family, with and without fault
+//!   injection;
+//! - a run checkpointed under one rollout mode and resumed under the other
+//!   still matches the uninterrupted reference bit for bit (mode is not
+//!   serialized in `RunnerState`, so a resume may legally switch modes);
+//! - the `FL_ROLLOUT` environment knob resolves exactly as documented.
+
+use fl_ctrl::{
+    build_system, train_drl_parallel_opt, CheckpointOptions, EnvConfig, ParallelConfig, RunOptions,
+    TrainConfig, TrainOutput,
+};
+use fl_net::synth::Profile;
+use fl_nn::KernelKind;
+use fl_rl::runner::RolloutMode;
+use fl_rl::PpoConfig;
+use fl_sim::{FaultModel, FlConfig, FlSystem};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes tests that touch process-global state (the kernel-kind global
+/// and the `FL_ROLLOUT` environment variable).
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_global() -> std::sync::MutexGuard<'static, ()> {
+    // A poisoned lock only means another test failed; the global state is
+    // still safe to reset, so don't cascade the panic.
+    GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn system(seed: u64) -> FlSystem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    build_system(
+        2,
+        2,
+        Profile::Walking4G,
+        1200,
+        FlConfig::default(),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn quick_config(episodes: usize, faults: bool) -> TrainConfig {
+    TrainConfig {
+        episodes,
+        ppo: PpoConfig {
+            hidden: vec![16],
+            buffer_capacity: 64,
+            minibatch_size: 32,
+            epochs: 4,
+            actor_lr: 1e-3,
+            critic_lr: 3e-3,
+            target_kl: None,
+            ..PpoConfig::default()
+        },
+        env: EnvConfig {
+            episode_len: 8,
+            history_len: 3,
+            faults: faults.then(|| FaultModel::chaos(0.2, 0.2, Some(120.0))),
+            ..EnvConfig::default()
+        },
+        arch: fl_ctrl::PolicyArch::Joint,
+        reward_scale: 0.05,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("fl-rollout-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bit-exact run fingerprint: every episode-stat field as bits plus the
+/// fully serialized agent (parameters, optimizer moments, normalizers).
+fn fingerprint(out: &TrainOutput) -> (Vec<[u64; 6]>, String) {
+    let eps = out
+        .episodes
+        .iter()
+        .map(|e| {
+            [
+                e.episode as u64,
+                e.mean_cost.to_bits(),
+                e.total_reward.to_bits(),
+                e.policy_loss.to_bits(),
+                e.value_loss.to_bits(),
+                e.updates_so_far as u64,
+            ]
+        })
+        .collect();
+    (eps, out.agent.to_json().unwrap())
+}
+
+fn run_with(
+    kind: KernelKind,
+    mode: RolloutMode,
+    sys: &FlSystem,
+    config: &TrainConfig,
+    workers: usize,
+) -> (Vec<[u64; 6]>, String) {
+    assert_eq!(fl_nn::set_kernel_kind(kind), kind);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let par = ParallelConfig { n_envs: 4, workers };
+    let opts = RunOptions {
+        rollout: Some(mode),
+        ..RunOptions::default()
+    };
+    fingerprint(
+        &train_drl_parallel_opt(sys, config, &par, &mut rng, &opts)
+            .unwrap()
+            .output,
+    )
+}
+
+/// The headline contract: a full parallel PPO training run produces
+/// bit-identical episode stats and a bit-identical final agent whether the
+/// rollout phase runs per-env or batched, at every worker count, under both
+/// kernel families, with and without fault injection.
+#[test]
+fn training_is_bit_identical_across_rollout_modes() {
+    assert!(fl_nn::naive_kernels_available());
+    let _guard = lock_global();
+    let before = fl_nn::kernel_kind();
+    let sys = system(1);
+    for faults in [false, true] {
+        let config = quick_config(12, faults);
+        let reference = run_with(KernelKind::Blocked, RolloutMode::PerEnv, &sys, &config, 1);
+        assert_eq!(reference.0.len(), 12);
+        for (kind, mode, workers) in [
+            (KernelKind::Blocked, RolloutMode::Batched, 1),
+            (KernelKind::Blocked, RolloutMode::Batched, 4),
+            (KernelKind::Blocked, RolloutMode::PerEnv, 4),
+            (KernelKind::Naive, RolloutMode::Batched, 1),
+            (KernelKind::Naive, RolloutMode::Batched, 4),
+        ] {
+            let got = run_with(kind, mode, &sys, &config, workers);
+            assert_eq!(
+                got, reference,
+                "faults={faults} {kind:?} {mode:?} workers={workers} diverged \
+                 from blocked/per-env/1-worker"
+            );
+        }
+    }
+    fl_nn::set_kernel_kind(before);
+}
+
+/// Rollout-mode invariance composes with crash-safe resume: checkpoint a
+/// run under the per-env scheduler, kill it, resume it under the *batched*
+/// scheduler, and the completed run still matches the uninterrupted per-env
+/// reference bit for bit. This is only possible because the batched path
+/// consumes every per-env RNG stream at exactly the same positions the
+/// per-env path does, so the serialized streams line up at the boundary.
+#[test]
+fn resume_across_rollout_mode_switch_is_bit_identical() {
+    let _guard = lock_global();
+    let before = fl_nn::kernel_kind();
+    assert_eq!(
+        fl_nn::set_kernel_kind(KernelKind::Blocked),
+        KernelKind::Blocked
+    );
+    let sys = system(2);
+    let config = quick_config(12, false);
+    let par = ParallelConfig {
+        n_envs: 4,
+        workers: 2,
+    };
+
+    let reference = {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let opts = RunOptions {
+            rollout: Some(RolloutMode::PerEnv),
+            ..RunOptions::default()
+        };
+        fingerprint(
+            &train_drl_parallel_opt(&sys, &config, &par, &mut rng, &opts)
+                .unwrap()
+                .output,
+        )
+    };
+
+    let dir = temp_dir("switch");
+    let ckpt = |mode: RolloutMode, stop: Option<usize>| RunOptions {
+        checkpoint: Some(CheckpointOptions {
+            dir: dir.clone(),
+            every_episodes: 3,
+            resume: true,
+        }),
+        stop_after_episodes: stop,
+        rollout: Some(mode),
+        ..RunOptions::default()
+    };
+
+    // First half scheduled per-env...
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let first = train_drl_parallel_opt(
+        &sys,
+        &config,
+        &par,
+        &mut rng,
+        &ckpt(RolloutMode::PerEnv, Some(6)),
+    )
+    .unwrap();
+    assert!(first.output.episodes.len() < 12, "should be interrupted");
+
+    // ...resumed to completion with the batched scheduler.
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let resumed = train_drl_parallel_opt(
+        &sys,
+        &config,
+        &par,
+        &mut rng,
+        &ckpt(RolloutMode::Batched, None),
+    )
+    .unwrap();
+    fl_nn::set_kernel_kind(before);
+
+    assert_eq!(
+        fingerprint(&resumed.output),
+        reference,
+        "rollout-mode switch across a kill/resume boundary changed the run"
+    );
+}
+
+/// `FL_ROLLOUT` resolves exactly as documented: the per-env spellings pick
+/// `PerEnv`, everything else (including unset) defaults to `Batched`.
+#[test]
+fn rollout_mode_env_resolution() {
+    let _guard = lock_global();
+    let saved = std::env::var("FL_ROLLOUT").ok();
+
+    for spelling in ["per-env", "per_env", "perenv", "PerEnv", "PER-ENV"] {
+        std::env::set_var("FL_ROLLOUT", spelling);
+        assert_eq!(
+            RolloutMode::from_env(),
+            RolloutMode::PerEnv,
+            "FL_ROLLOUT={spelling}"
+        );
+    }
+    for spelling in ["batched", "Batched", "", "anything-else"] {
+        std::env::set_var("FL_ROLLOUT", spelling);
+        assert_eq!(
+            RolloutMode::from_env(),
+            RolloutMode::Batched,
+            "FL_ROLLOUT={spelling}"
+        );
+    }
+    std::env::remove_var("FL_ROLLOUT");
+    assert_eq!(RolloutMode::from_env(), RolloutMode::Batched, "unset");
+
+    match saved {
+        Some(v) => std::env::set_var("FL_ROLLOUT", v),
+        None => std::env::remove_var("FL_ROLLOUT"),
+    }
+}

@@ -11,6 +11,13 @@
 //! special-value injections; golden hand-computed products pin absolute
 //! values; and full `train_drl_parallel` runs are fingerprinted under both
 //! `KernelKind`s at 1 and 4 workers, with and without fault injection.
+//!
+//! The pool-parallel extension: the row-split GEMM path is forced at
+//! explicit worker counts (1/2/4/8) via `matmul_par_with_workers` /
+//! `matmul_nt_par_with_workers` and compared bitwise against the serial
+//! kernels on shapes straddling the dispatch threshold, the threshold edge
+//! itself is pinned as a pure function of shape, and batched-forward row
+//! independence (the batched-rollout contract) gets a hand-computed golden.
 
 use fl_ctrl::{
     build_system, train_drl_parallel, train_drl_parallel_opt, CheckpointOptions, EnvConfig,
@@ -195,6 +202,172 @@ proptest! {
         let mut reference = base.clone();
         reference.naive_add_row_broadcast(&bias).unwrap();
         prop_assert!(bits(&fast) == bits(&reference), "broadcast {}x{}", m, n);
+    }
+}
+
+/// Draws a dimension that frequently lands at or above the parallel
+/// threshold (64..=80 — `64³ = 2^18` is exactly the cutoff), so the pool
+/// path row-splits into non-trivial chunks, while still visiting
+/// degenerate and tiny shapes.
+fn dim_par(rng: &mut ChaCha8Rng) -> usize {
+    match rng.gen_range(0..5u32) {
+        0 => rng.gen_range(0..=2),
+        1 => rng.gen_range(3..=32),
+        2 => rng.gen_range(33..=63),
+        _ => rng.gen_range(64..=80),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row-split pool parallelism is bit-invariant: for both kernel
+    /// families, forcing the pool path at 1/2/4/8 workers reproduces the
+    /// serial kernels' bits exactly — on shapes below, at, and above the
+    /// dispatch threshold, with NaN/Inf/±0 injection.
+    #[test]
+    fn prop_parallel_matmul_any_worker_count_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_0000);
+        let (m, k, n) = (dim_par(&mut rng), dim_par(&mut rng), dim_par(&mut rng));
+        let specials = seed % 2 == 0;
+        let a = rand_matrix(&mut rng, m, k, specials);
+        let b = rand_matrix(&mut rng, k, n, specials);
+        let serial = a.matmul_with(&b, KernelKind::Blocked, false).unwrap();
+        prop_assert!(bits(&serial) == bits(&a.matmul_with(&b, KernelKind::Naive, false).unwrap()));
+        for kind in [KernelKind::Blocked, KernelKind::Naive] {
+            for workers in [1usize, 2, 4, 8] {
+                let par = a.matmul_par_with_workers(&b, kind, workers).unwrap();
+                prop_assert!(
+                    bits(&par) == bits(&serial),
+                    "{}x{}x{} specials={} {:?} workers={}", m, k, n, specials, kind, workers
+                );
+            }
+        }
+    }
+
+    /// The same sweep for `matmul_nt` — the *no-skip* family, where a
+    /// `0·∞` term must manufacture the same NaN in every row chunk.
+    #[test]
+    fn prop_parallel_matmul_nt_any_worker_count_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A_0000);
+        let (m, k, n) = (dim_par(&mut rng), dim_par(&mut rng), dim_par(&mut rng));
+        let specials = seed % 2 == 0;
+        let a = rand_matrix(&mut rng, m, k, specials);
+        let b = rand_matrix(&mut rng, n, k, specials);
+        let serial = a.matmul_nt_with(&b, KernelKind::Blocked).unwrap();
+        prop_assert!(bits(&serial) == bits(&a.naive_matmul_nt(&b).unwrap()));
+        for kind in [KernelKind::Blocked, KernelKind::Naive] {
+            for workers in [1usize, 2, 4, 8] {
+                let par = a.matmul_nt_par_with_workers(&b, kind, workers).unwrap();
+                prop_assert!(
+                    bits(&par) == bits(&serial),
+                    "nt {}x{}x{} specials={} {:?} workers={}", m, k, n, specials, kind, workers
+                );
+            }
+        }
+    }
+}
+
+/// The parallel-dispatch decision is a pure function of the shape — never
+/// of core count or `FL_WORKERS` — so a matrix exactly at the cutoff picks
+/// the same path on every machine and under every pool width. `64³ = 2^18`
+/// is exactly the threshold.
+#[test]
+fn parallel_dispatch_threshold_edge_is_deterministic() {
+    // Exactly at the cutoff: parallel.
+    assert!(Matrix::parallel_dispatch(64, 64, 64));
+    // One short of the cutoff product in any dimension: serial.
+    assert!(!Matrix::parallel_dispatch(63, 64, 64));
+    assert!(!Matrix::parallel_dispatch(64, 63, 64));
+    assert!(!Matrix::parallel_dispatch(64, 64, 63));
+    // A single row can never split, no matter how heavy.
+    assert!(!Matrix::parallel_dispatch(1, 1 << 20, 1 << 20));
+    // Two rows qualify exactly when the flop product reaches the threshold.
+    assert!(Matrix::parallel_dispatch(2, 512, 256));
+    assert!(!Matrix::parallel_dispatch(2, 512, 255));
+    // Degenerate shapes never dispatch; enormous ones saturate, not wrap.
+    assert!(!Matrix::parallel_dispatch(0, 1 << 20, 1 << 20));
+    assert!(Matrix::parallel_dispatch(usize::MAX, usize::MAX, 2));
+
+    // At the exact edge, the chosen path is bit-invariant anyway: the auto
+    // path (whatever `FL_WORKERS` resolves to on this host) equals the
+    // forced-serial kernel and every forced pool width, in both families.
+    let mut rng = ChaCha8Rng::seed_from_u64(64);
+    let a = rand_matrix(&mut rng, 64, 64, true);
+    let b = rand_matrix(&mut rng, 64, 64, true);
+    let serial = a.matmul_with(&b, KernelKind::Blocked, false).unwrap();
+    let auto = a.matmul_with(&b, KernelKind::Blocked, true).unwrap();
+    assert_eq!(bits(&auto), bits(&serial));
+    for kind in [KernelKind::Blocked, KernelKind::Naive] {
+        for workers in [1usize, 2, 4, 8] {
+            let par = a.matmul_par_with_workers(&b, kind, workers).unwrap();
+            assert_eq!(bits(&par), bits(&serial), "{kind:?} workers={workers}");
+        }
+    }
+}
+
+/// Batched-forward row independence, pinned with a hand-computed golden:
+/// `[1, 2] · [[7,8,9],[10,11,12]] = [27, 30, 33]`. A row's output bits are
+/// identical whether it sits in a batch of 1, 7, or 32 rows — serial or
+/// pool-parallel, both families. This is the property that lets the
+/// batched rollout stack per-environment observations into one forward
+/// without changing trained bits.
+#[test]
+fn golden_batched_forward_is_row_independent() {
+    let b = Matrix::from_vec(2, 3, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+    let golden_row = [27.0, 30.0, 33.0];
+    let single = Matrix::from_vec(1, 2, vec![1.0, 2.0])
+        .unwrap()
+        .matmul_with(&b, KernelKind::Blocked, false)
+        .unwrap();
+    assert_eq!(single.data(), &golden_row);
+
+    for batch_rows in [1usize, 7, 32] {
+        // The golden row sits mid-batch, surrounded by varied filler rows
+        // (including special values) that must not perturb it.
+        let mid = batch_rows / 2;
+        let a = Matrix::from_fn(batch_rows, 2, |r, c| {
+            if r == mid {
+                [1.0, 2.0][c]
+            } else if r % 5 == 3 {
+                SPECIALS[(r + c) % SPECIALS.len()]
+            } else {
+                (r * 2 + c) as f64 * 0.37 - 1.0
+            }
+        });
+        for kind in [KernelKind::Blocked, KernelKind::Naive] {
+            for workers in [1usize, 4] {
+                let out = a.matmul_par_with_workers(&b, kind, workers).unwrap();
+                assert_eq!(
+                    out.row(mid),
+                    &golden_row,
+                    "{kind:?} workers={workers} batch={batch_rows}"
+                );
+                // Every row equals its batch-of-one product, bitwise.
+                for r in 0..batch_rows {
+                    let one = Matrix::from_vec(1, 2, a.row(r).to_vec())
+                        .unwrap()
+                        .matmul_with(&b, kind, false)
+                        .unwrap();
+                    let one_bits = bits(&one).2;
+                    let row_bits: Vec<u64> = out
+                        .row(r)
+                        .iter()
+                        .map(|v| {
+                            if v.is_nan() {
+                                f64::NAN.to_bits()
+                            } else {
+                                v.to_bits()
+                            }
+                        })
+                        .collect();
+                    assert_eq!(
+                        row_bits, one_bits,
+                        "{kind:?} workers={workers} batch={batch_rows} row {r}"
+                    );
+                }
+            }
+        }
     }
 }
 
