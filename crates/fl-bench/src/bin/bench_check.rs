@@ -24,7 +24,12 @@
 //! throughput may drop to 1/4 of baseline and p99 may grow 8x (with a
 //! 5 ms absolute floor) before failing — wide margins that catch an
 //! accidentally serialized batcher or a lock held across a policy
-//! forward, not CI-host jitter.
+//! forward, not CI-host jitter. The sweep includes the overload case
+//! (offered load past a deliberately slowed server), which additionally
+//! gates *structure*: zero transport-level failures (every shed must be
+//! a structured `overloaded`/`deadline_exceeded` response) and a
+//! non-zero shed count (the bounded admission queue is actually
+//! bounding), alongside the same goodput/p99-of-accepted margins.
 //!
 //! `--write-baseline` regenerates both committed baselines in place.
 

@@ -5,31 +5,142 @@
 //! decision requests — observations sampled from the scenario's fl-net
 //! bandwidth traces — through real TCP connections. Reports client-side
 //! p50/p99/p999 latency and throughput per case (serial floor plus two
-//! burst levels exercising the micro-batcher).
+//! burst levels exercising the micro-batcher), plus the overload
+//! scenario (offered load past capacity: goodput, shed rate, and
+//! p99-of-accepted).
 //!
 //! Usage:
-//! `cargo run --release -p fl-bench --bin serve_bench [budget_ms] [--write-baseline]`
+//! `cargo run --release -p fl-bench --bin serve_bench [budget_ms] [--write-baseline | --overload | --chaos]`
 //!
-//! The default budget (2000 ms per case, three cases, plus a short
-//! training run) keeps the full benchmark around ten seconds — the CI
-//! smoke budget. `--write-baseline` regenerates the committed gate
-//! baseline (`crates/fl-bench/results/serve_bench.json`); a normal run
-//! writes its report to `results/serve_bench.json` at the repo root for
+//! The default budget (2000 ms per case, plus a short training run)
+//! keeps the full benchmark around ten seconds — the CI smoke budget.
+//! `--write-baseline` regenerates the committed gate baseline
+//! (`crates/fl-bench/results/serve_bench.json`); a normal run writes its
+//! report to `results/serve_bench.json` at the repo root for
 //! EXPERIMENTS.md bookkeeping.
+//!
+//! `--overload` runs only the past-capacity scenario. `--chaos` runs a
+//! chaos-proxy smoke: a [`fl_serve::ResilientClient`] drives decides
+//! through a seeded [`fl_serve::ChaosProxy`] (latency, resets, torn
+//! writes, downstream corruption) for the budget, and every completed
+//! decide is verified bit-identical to the in-process controller — the
+//! CI-facing "the hardened path converges under fire" check.
 
 use fl_bench::args::ParsedArgs;
 use fl_bench::dump_json;
-use fl_bench::serve_perf::{measure, print_report};
+use fl_bench::serve_perf::{measure, prepare_store, print_report, run_overload_case};
+use fl_serve::{
+    ChaosModel, ChaosPlan, ChaosProxy, DecisionServer, ResilientClient, RetryPolicy, ServeOptions,
+};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn baseline_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("results/serve_bench.json")
 }
 
+fn temp_store() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fedfreq-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench store dir");
+    dir
+}
+
+/// The `--chaos` smoke: resilient client vs. a hostile seeded proxy,
+/// with every completed decide checked bit-for-bit against the
+/// in-process controller. Exits non-zero on any failed decide or any
+/// bit mismatch.
+fn chaos_smoke(budget: Duration) {
+    let dir = temp_store();
+    let (snap, pool) = prepare_store(&dir, 128);
+    let expected: Vec<Vec<f64>> = snap.decide_rows(&pool).expect("in-process decisions");
+    let server =
+        DecisionServer::start(&dir, "127.0.0.1:0", ServeOptions::default()).expect("server starts");
+    let plan = ChaosPlan::new(
+        ChaosModel {
+            tear_chunk: 16,
+            ..ChaosModel::hostile()
+        },
+        13,
+    );
+    let proxy = ChaosProxy::start(server.local_addr(), plan).expect("proxy starts");
+    let policy = RetryPolicy {
+        max_retries: 30,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(30),
+        budget: Some(Duration::from_secs(20)),
+        io_timeout: Some(Duration::from_millis(800)),
+        ..RetryPolicy::default()
+    };
+    let mut client = ResilientClient::new(proxy.local_addr(), policy).expect("client builds");
+
+    let start = Instant::now();
+    let deadline = start + budget;
+    let mut decides = 0u64;
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let row = i % pool.len();
+        match client.decide(&pool[row]) {
+            Ok((_, freqs)) => {
+                if freqs != expected[row] {
+                    eprintln!("serve_bench[chaos]: FAIL — decide {i} not bit-identical");
+                    std::process::exit(1);
+                }
+                decides += 1;
+            }
+            Err(e) => {
+                eprintln!("serve_bench[chaos]: FAIL — decide {i} did not converge: {e}");
+                std::process::exit(1);
+            }
+        }
+        i += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "serve_bench[chaos]: OK — {decides} decides in {elapsed:.1} s \
+         ({:.0} rps), all bit-identical; {} retries, {} reconnects, \
+         {} proxy connections, {} injected faults",
+        decides as f64 / elapsed.max(1e-9),
+        client.retries_total(),
+        client.reconnects_total(),
+        proxy.connections(),
+        proxy.events().len(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
-    let cli = ParsedArgs::parse(&[], &["--write-baseline"]);
+    let cli = ParsedArgs::parse(&[], &["--write-baseline", "--overload", "--chaos"]);
     let budget = Duration::from_millis(cli.positional_or(0, 2000u64));
+
+    if cli.has("--chaos") {
+        chaos_smoke(budget);
+        return;
+    }
+    if cli.has("--overload") {
+        let dir = temp_store();
+        let (_snap, pool) = prepare_store(&dir, 512);
+        let case = run_overload_case(&dir, budget, &pool);
+        let _ = std::fs::remove_dir_all(&dir);
+        println!(
+            "serve_bench[overload]: {} clients, {} offered, {} accepted, {} shed \
+             ({:.1}%), {} transport failures\n  goodput {:.0} rps, p99-of-accepted {:.1} us",
+            case.clients,
+            case.offered,
+            case.accepted,
+            case.shed,
+            case.shed_rate * 100.0,
+            case.transport_failures,
+            case.goodput_rps,
+            case.p99_accepted_us
+        );
+        if case.transport_failures > 0 {
+            eprintln!("serve_bench[overload]: FAIL — unstructured failures under overload");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let report = measure(budget);
     print_report(&report);
 

@@ -24,7 +24,8 @@ use crate::Scenario;
 use fl_ctrl::ControllerSnapshot;
 use fl_obs::quantile_sorted;
 use fl_rl::snapshot::CheckpointStore;
-use fl_serve::{DecisionServer, ServeClient, ServeOptions};
+use fl_serve::protocol::codes;
+use fl_serve::{DecisionServer, ServeClient, ServeError, ServeOptions, WireRequest};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -63,6 +64,32 @@ pub struct ServeCase {
     pub max_batch_observed: u64,
 }
 
+/// The overload scenario: offered load deliberately past capacity, so the
+/// interesting numbers are *goodput* (decisions actually served per
+/// second), the shed rate, and the p99 of the accepted requests — an
+/// overloaded server must stay fast for the work it admits and answer the
+/// rest immediately with structured `overloaded` sheds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverloadCase {
+    /// Concurrent closed-loop clients (no think time, no backoff).
+    pub clients: usize,
+    /// Requests attempted (accepted + shed + failed).
+    pub offered: u64,
+    /// Requests served with a decision.
+    pub accepted: u64,
+    /// Requests shed with `overloaded` / `deadline_exceeded`.
+    pub shed: u64,
+    /// Anything else — transport errors, unexpected codes. An overloaded
+    /// server must degrade structurally, so the gate requires zero.
+    pub transport_failures: u64,
+    /// Accepted decisions per second.
+    pub goodput_rps: f64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// p99 latency of *accepted* requests, microseconds.
+    pub p99_accepted_us: f64,
+}
+
 /// A full sweep, serialized as the committed baseline
 /// (`crates/fl-bench/results/serve_bench.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -75,6 +102,8 @@ pub struct ServeReport {
     pub action_dim: usize,
     /// All measured cases.
     pub cases: Vec<ServeCase>,
+    /// The past-capacity scenario (absent in pre-overload baselines).
+    pub overload: Option<OverloadCase>,
 }
 
 /// Trains (cache-aware) the testbed controller and saves it as the only
@@ -169,6 +198,95 @@ pub fn run_case(
     }
 }
 
+/// Knobs that make the overload scenario *reliably* past capacity: a
+/// small artificial per-batch inference delay emulates a heavier model,
+/// so 16 closed-loop clients against a 4-row batch and an 8-deep queue
+/// saturate the server regardless of host speed.
+const OVERLOAD_CLIENTS: usize = 16;
+const OVERLOAD_MAX_BATCH: usize = 4;
+const OVERLOAD_MAX_QUEUE: usize = 8;
+const OVERLOAD_SLOWDOWN: Duration = Duration::from_millis(2);
+/// Per-request deadline carried by overload traffic — generous against
+/// the ~7 ms worst-case queue residence, so sheds are `overloaded` (queue
+/// full), not deadline expiries; it still exercises the deadline path on
+/// every admitted request.
+const OVERLOAD_DEADLINE_MS: u64 = 250;
+
+/// Runs the overload case: closed-loop clients hammering a deliberately
+/// undersized server for `budget`. Sheds are expected and counted; any
+/// *unstructured* failure is a bug and lands in `transport_failures`.
+pub fn run_overload_case(ckpt_dir: &Path, budget: Duration, obs_pool: &[Vec<f64>]) -> OverloadCase {
+    let opts = ServeOptions {
+        max_batch: OVERLOAD_MAX_BATCH,
+        linger: Duration::from_micros(200),
+        max_queue: OVERLOAD_MAX_QUEUE,
+        inference_slowdown: OVERLOAD_SLOWDOWN,
+        ..ServeOptions::default()
+    };
+    let server = DecisionServer::start(ckpt_dir, "127.0.0.1:0", opts).expect("server starts");
+    let addr = server.local_addr();
+    let start = Instant::now();
+    let deadline = start + budget;
+    let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+        .map(|c| {
+            let pool = obs_pool.to_vec();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("client connects");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("read timeout");
+                let mut accepted_us = Vec::new();
+                let mut shed = 0u64;
+                let mut failed = 0u64;
+                let mut i = c;
+                while Instant::now() < deadline {
+                    let request = WireRequest::decide(pool[i % pool.len()].clone())
+                        .with_deadline(OVERLOAD_DEADLINE_MS);
+                    let t0 = Instant::now();
+                    match client.decide_request(&request) {
+                        Ok(_) => accepted_us.push(t0.elapsed().as_secs_f64() * 1e6),
+                        Err(ServeError::Server { ref code, .. })
+                            if code == codes::OVERLOADED || code == codes::DEADLINE_EXCEEDED =>
+                        {
+                            shed += 1;
+                        }
+                        Err(_) => failed += 1,
+                    }
+                    i += OVERLOAD_CLIENTS;
+                }
+                (accepted_us, shed, failed)
+            })
+        })
+        .collect();
+    let mut accepted_us: Vec<f64> = Vec::new();
+    let (mut shed, mut failed) = (0u64, 0u64);
+    for h in handles {
+        let (us, s, f) = h.join().expect("client thread");
+        accepted_us.extend(us);
+        shed += s;
+        failed += f;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+    accepted_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let accepted = accepted_us.len() as u64;
+    let offered = accepted + shed + failed;
+    OverloadCase {
+        clients: OVERLOAD_CLIENTS,
+        offered,
+        accepted,
+        shed,
+        transport_failures: failed,
+        goodput_rps: accepted as f64 / elapsed.max(1e-9),
+        shed_rate: shed as f64 / (offered.max(1)) as f64,
+        p99_accepted_us: if accepted_us.is_empty() {
+            0.0
+        } else {
+            quantile_sorted(&accepted_us, 0.99)
+        },
+    }
+}
+
 /// The full sweep: serial floor plus two burst levels, each against its
 /// own fresh server (so per-case stats do not bleed into each other).
 pub fn measure(budget: Duration) -> ServeReport {
@@ -180,11 +298,13 @@ pub fn measure(budget: Duration) -> ServeReport {
         .iter()
         .map(|&(name, clients)| run_case(&dir, name, clients, budget, &pool))
         .collect();
+    let overload = run_overload_case(&dir, budget, &pool);
     let report = ServeReport {
         budget_ms: budget.as_millis() as u64,
         obs_dim: snap.obs_dim(),
         action_dim: snap.action_dim(),
         cases,
+        overload: Some(overload),
     };
     let _ = std::fs::remove_dir_all(&dir);
     report
@@ -214,6 +334,42 @@ pub fn check(baseline: &ServeReport, measured: &ServeReport) -> Vec<String> {
             ));
         }
     }
+    if let Some(b) = &baseline.overload {
+        match &measured.overload {
+            None => failures.push("overload case missing from measurement".to_string()),
+            Some(m) => {
+                let min_rps = b.goodput_rps * MIN_THROUGHPUT_FRAC;
+                if m.goodput_rps < min_rps {
+                    failures.push(format!(
+                        "overload: goodput {:.0} rps fell below {:.0} rps (baseline {:.0} x {})",
+                        m.goodput_rps, min_rps, b.goodput_rps, MIN_THROUGHPUT_FRAC
+                    ));
+                }
+                if m.transport_failures > 0 {
+                    failures.push(format!(
+                        "overload: {} unstructured failures — overload must shed with \
+                         structured errors, never break transport",
+                        m.transport_failures
+                    ));
+                }
+                if m.shed == 0 {
+                    failures.push(
+                        "overload: offered load past capacity shed nothing — the bounded \
+                         admission queue is not shedding"
+                            .to_string(),
+                    );
+                }
+                let p99_allowed = (b.p99_accepted_us * MAX_P99_GROWTH).max(P99_FLOOR_US);
+                if m.p99_accepted_us > p99_allowed {
+                    failures.push(format!(
+                        "overload: p99-of-accepted {:.0} us exceeded {:.0} us \
+                         (baseline {:.0} us x {MAX_P99_GROWTH}, floor {P99_FLOOR_US} us)",
+                        m.p99_accepted_us, p99_allowed, b.p99_accepted_us
+                    ));
+                }
+            }
+        }
+    }
     failures
 }
 
@@ -238,6 +394,20 @@ pub fn print_report(report: &ServeReport) {
             c.p99_us,
             c.p999_us,
             c.max_batch_observed
+        );
+    }
+    if let Some(o) = &report.overload {
+        println!(
+            "overload   {:>8} offered {:>7} accepted {:>7} shed {:>7} failed {:>3} | \
+             goodput {:>7.0} rps, shed rate {:>5.1}%, p99-of-accepted {:>8.1} us",
+            o.clients,
+            o.offered,
+            o.accepted,
+            o.shed,
+            o.transport_failures,
+            o.goodput_rps,
+            o.shed_rate * 100.0,
+            o.p99_accepted_us
         );
     }
 }
@@ -265,6 +435,21 @@ mod tests {
             obs_dim: 27,
             action_dim: 3,
             cases,
+            overload: None,
+        }
+    }
+
+    fn overload(goodput: f64, shed: u64, failed: u64, p99: f64) -> OverloadCase {
+        let accepted = 1_000u64;
+        OverloadCase {
+            clients: 16,
+            offered: accepted + shed + failed,
+            accepted,
+            shed,
+            transport_failures: failed,
+            goodput_rps: goodput,
+            shed_rate: shed as f64 / (accepted + shed + failed) as f64,
+            p99_accepted_us: p99,
         }
     }
 
@@ -285,6 +470,30 @@ mod tests {
         assert_eq!(check(&base, &laggy).len(), 1);
         let missing = report(vec![]);
         assert_eq!(check(&base, &missing).len(), 1);
+    }
+
+    #[test]
+    fn overload_gate_checks_goodput_structure_and_p99() {
+        let mut base = report(vec![]);
+        base.overload = Some(overload(2_000.0, 5_000, 0, 7_000.0));
+
+        let mut ok = report(vec![]);
+        ok.overload = Some(overload(1_000.0, 3_000, 0, 8_000.0));
+        assert!(check(&base, &ok).is_empty());
+
+        // Goodput collapse, unstructured failures, no shedding, and a
+        // p99-of-accepted blowup each fail independently.
+        let mut bad = report(vec![]);
+        bad.overload = Some(overload(100.0, 0, 7, 7_000.0 * 9.0));
+        let failures = check(&base, &bad);
+        assert_eq!(failures.len(), 4, "{failures:?}");
+
+        // A measurement missing the overload case entirely fails too.
+        let missing = report(vec![]);
+        assert_eq!(check(&base, &missing).len(), 1);
+
+        // ...but an old baseline without the case gates nothing new.
+        assert!(check(&report(vec![]), &missing).is_empty());
     }
 
     #[test]

@@ -150,6 +150,12 @@ impl ControllerSnapshot {
     /// export. Bit-identical per row to [`DrlController`]'s
     /// `FrequencyController::decide` on the same observation.
     pub fn decide_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        // An empty batch has a well-defined answer: no decisions. Serving
+        // paths that shed every queued request before inference (deadline
+        // expiry) rely on this instead of special-casing upstream.
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
         let obs_dim = self.obs_dim();
         for (i, row) in rows.iter().enumerate() {
             if row.len() != obs_dim {
@@ -270,7 +276,12 @@ mod tests {
         let (_, snap) = snapshot(2);
         assert!(snap.decide_rows(&[vec![0.0; 14]]).is_err());
         assert!(snap.decide_rows(&[vec![0.0; 15], vec![0.0; 16]]).is_err());
-        assert!(snap.decide_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn decide_rows_empty_batch_decides_nothing() {
+        let (_, snap) = snapshot(2);
+        assert_eq!(snap.decide_rows(&[]).unwrap(), Vec::<Vec<f64>>::new());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Structured errors for the serving stack.
 
+use crate::protocol::codes;
 use std::fmt;
 
 /// Everything that can go wrong starting, running, or talking to a
@@ -16,6 +17,12 @@ pub enum ServeError {
     Json(serde_json::Error),
     /// The checkpoint store holds no snapshot to serve.
     EmptyStore,
+    /// The peer closed the connection cleanly where a frame was expected.
+    ConnectionClosed,
+    /// A read timed out with no frame started. The stream may be out of
+    /// sync afterwards (the response could still arrive later), so a
+    /// retrying client must reconnect before reusing the address.
+    TimedOut,
     /// A framing violation observed by the client (bad magic, truncated
     /// frame, oversized response, ...).
     Protocol(String),
@@ -25,7 +32,66 @@ pub enum ServeError {
         code: String,
         /// Human-readable detail.
         msg: String,
+        /// Backoff hint from `overloaded` responses, milliseconds.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl ServeError {
+    /// Whether retrying the same request can possibly succeed.
+    ///
+    /// Transport failures (`Io`, `ConnectionClosed`, `TimedOut`,
+    /// `Protocol`) are retryable: decide requests are idempotent and the
+    /// failure says nothing about the request itself. Server errors are
+    /// retryable only when the code marks a *transient* condition
+    /// (`overloaded`, `deadline_exceeded`, `shutting_down`, `internal`);
+    /// deterministic refusals (`dim_mismatch`, `bad_request`,
+    /// `digest_mismatch`, ...) would fail identically forever.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::Io(_)
+            | ServeError::ConnectionClosed
+            | ServeError::TimedOut
+            | ServeError::Protocol(_) => true,
+            ServeError::Server { code, .. } => matches!(
+                code.as_str(),
+                codes::OVERLOADED
+                    | codes::DEADLINE_EXCEEDED
+                    | codes::SHUTTING_DOWN
+                    | codes::INTERNAL
+            ),
+            ServeError::Snapshot(_)
+            | ServeError::Ctrl(_)
+            | ServeError::Json(_)
+            | ServeError::EmptyStore => false,
+        }
+    }
+
+    /// Whether the connection this error surfaced on may be desynchronized
+    /// and must be dropped before retrying. Structured server errors keep
+    /// the stream in sync; everything transport-shaped does not — after a
+    /// `TimedOut` in particular, a late response could still arrive and be
+    /// misattributed to the next request.
+    pub fn needs_reconnect(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Io(_)
+                | ServeError::ConnectionClosed
+                | ServeError::TimedOut
+                | ServeError::Protocol(_)
+        )
+    }
+
+    /// The server's backoff hint, when it sent one (`overloaded`).
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            ServeError::Server {
+                retry_after_ms: Some(ms),
+                ..
+            } => Some(std::time::Duration::from_millis(*ms)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -38,8 +104,10 @@ impl fmt::Display for ServeError {
             ServeError::EmptyStore => {
                 write!(f, "checkpoint store holds no snapshot to serve")
             }
+            ServeError::ConnectionClosed => write!(f, "peer closed the connection"),
+            ServeError::TimedOut => write!(f, "timed out waiting for a response"),
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
-            ServeError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ServeError::Server { code, msg, .. } => write!(f, "server error [{code}]: {msg}"),
         }
     }
 }

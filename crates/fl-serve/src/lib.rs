@@ -20,6 +20,17 @@
 //! * **Telemetry** — every request, batch, reload, and error lands in
 //!   fl-obs counters and latency histograms, served back over the wire
 //!   via `stats` requests.
+//! * **Overload hardening** — per-request deadlines enforced inside the
+//!   micro-batcher, a bounded admission queue that sheds with
+//!   `overloaded` + a `retry_after_ms` hint, write timeouts against
+//!   stalled peers, and graceful drain (`tests/serve_overload.rs`).
+//! * **Resilient client** — [`ResilientClient`] retries transport and
+//!   transient-server failures under a seeded, bit-stable backoff
+//!   schedule ([`RetryPolicy`]), reconnecting whenever the stream may be
+//!   desynchronized.
+//! * **Chaos harness** — [`chaos::ChaosProxy`] replays seeded network
+//!   chaos (latency, resets, torn writes, corruption) deterministically,
+//!   driving the soak suite in `tests/serve_chaos.rs`.
 //!
 //! ## In-process quickstart
 //!
@@ -44,12 +55,14 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod chaos;
 pub mod client;
 mod error;
 pub mod protocol;
 pub mod server;
 
-pub use client::ServeClient;
+pub use chaos::{ChaosModel, ChaosPlan, ChaosProxy};
+pub use client::{ResilientClient, RetryPolicy, ServeClient};
 pub use error::ServeError;
 pub use protocol::{ErrorCounters, LatencySummary, ServeStats, WireRequest, WireResponse};
 pub use server::{DecisionServer, ServeOptions};

@@ -5,6 +5,7 @@
 //! ```bash
 //! fl-serve --ckpt CKPT_DIR [--addr 127.0.0.1:7878] [--obs DIR]
 //!          [--max-batch N] [--linger-us N] [--poll-ms N]
+//!          [--max-queue N] [--deadline-ms N] [--write-timeout-ms N]
 //! ```
 //!
 //! `--poll-ms N` enables automatic hot-reload: the server checks the
@@ -12,6 +13,12 @@
 //! into the same directory upgrades the server live). Without it, reloads
 //! happen only on explicit `reload` requests. `--obs DIR` writes the
 //! fl-obs event/metric stream to `DIR/serve.jsonl`.
+//!
+//! Overload knobs: `--max-queue N` bounds the admission queue (beyond it
+//! decides are shed with `overloaded` + a retry hint), `--deadline-ms N`
+//! applies a default deadline budget to requests that carry none, and
+//! `--write-timeout-ms N` disconnects peers that stall response writes
+//! (`0` disables the guard).
 
 // The shared CLI parser lives in fl-bench (which depends on this crate,
 // so the usual `use` direction would be a cycle); include the same
@@ -33,13 +40,17 @@ fn main() {
             "--max-batch",
             "--linger-us",
             "--poll-ms",
+            "--max-queue",
+            "--deadline-ms",
+            "--write-timeout-ms",
         ],
         &[],
     );
     let ckpt = cli.path("--ckpt").unwrap_or_else(|| {
         eprintln!(
             "usage: fl-serve --ckpt CKPT_DIR [--addr HOST:PORT] [--obs DIR] \
-             [--max-batch N] [--linger-us N] [--poll-ms N]"
+             [--max-batch N] [--linger-us N] [--poll-ms N] \
+             [--max-queue N] [--deadline-ms N] [--write-timeout-ms N]"
         );
         std::process::exit(2);
     });
@@ -54,6 +65,15 @@ fn main() {
     }
     if let Some(ms) = cli.parsed::<u64>("--poll-ms") {
         opts.reload_poll = Some(Duration::from_millis(ms.max(1)));
+    }
+    if let Some(n) = cli.parsed::<usize>("--max-queue") {
+        opts.max_queue = n.max(1);
+    }
+    if let Some(ms) = cli.parsed::<u64>("--deadline-ms") {
+        opts.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(ms) = cli.parsed::<u64>("--write-timeout-ms") {
+        opts.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
     }
     if let Some(dir) = cli.path("--obs") {
         if let Err(e) = std::fs::create_dir_all(&dir) {

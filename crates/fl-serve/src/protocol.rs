@@ -63,6 +63,16 @@ pub mod codes {
     /// A hot-reload attempt failed (corrupt store, digest drift, ...). The
     /// previously loaded snapshot keeps serving.
     pub const RELOAD_FAILED: &str = "reload_failed";
+    /// The admission queue is full: the request was shed *before* it was
+    /// enqueued. The response carries a `retry_after_ms` hint; retrying
+    /// after that backoff is safe (the request never reached the policy).
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request's deadline budget expired before inference ran. The
+    /// observation was shed from the batch, never evaluated.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The server is draining for shutdown: in-flight work finishes, new
+    /// work is refused. Retrying against a replacement server is safe.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
     /// Unexpected server-side failure evaluating the request.
     pub const INTERNAL: &str = "internal";
 }
@@ -84,6 +94,13 @@ pub struct WireRequest {
     /// Optional pinned config digest for `decide`: the server refuses with
     /// `digest_mismatch` when it differs from the served snapshot's.
     pub digest: Option<u32>,
+    /// Optional per-request deadline budget in milliseconds, measured from
+    /// the moment the server admits the request. If the budget expires
+    /// while the request waits in the micro-batch queue, the server sheds
+    /// it with a `deadline_exceeded` error instead of running stale
+    /// inference. `None` defers to the server's `--deadline-ms` default
+    /// (unbounded when that is unset too).
+    pub deadline_ms: Option<u64>,
 }
 
 impl WireRequest {
@@ -93,6 +110,7 @@ impl WireRequest {
             kind: "decide".to_string(),
             obs: Some(obs),
             digest: None,
+            deadline_ms: None,
         }
     }
 
@@ -102,6 +120,7 @@ impl WireRequest {
             kind: "decide".to_string(),
             obs: Some(obs),
             digest: Some(digest),
+            deadline_ms: None,
         }
     }
 
@@ -111,6 +130,7 @@ impl WireRequest {
             kind: "ping".to_string(),
             obs: None,
             digest: None,
+            deadline_ms: None,
         }
     }
 
@@ -120,6 +140,7 @@ impl WireRequest {
             kind: "stats".to_string(),
             obs: None,
             digest: None,
+            deadline_ms: None,
         }
     }
 
@@ -129,7 +150,14 @@ impl WireRequest {
             kind: "reload".to_string(),
             obs: None,
             digest: None,
+            deadline_ms: None,
         }
+    }
+
+    /// Attaches a deadline budget (milliseconds from server admission).
+    pub fn with_deadline(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 }
 
@@ -156,6 +184,10 @@ pub struct WireResponse {
     pub code: Option<String>,
     /// Human-readable error detail (`ok = false` only).
     pub msg: Option<String>,
+    /// Backoff hint in milliseconds (`overloaded` errors): the server's
+    /// estimate of when queue capacity will free up. Advisory — clients
+    /// may retry sooner, the server simply sheds them again.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireResponse {
@@ -170,6 +202,7 @@ impl WireResponse {
             stats: None,
             code: None,
             msg: None,
+            retry_after_ms: None,
         }
     }
 
@@ -216,7 +249,15 @@ impl WireResponse {
             stats: None,
             code: Some(code.to_string()),
             msg: Some(msg.into()),
+            retry_after_ms: None,
         }
+    }
+
+    /// A structured error response carrying a retry-backoff hint.
+    pub fn error_with_retry(code: &str, msg: impl Into<String>, retry_after_ms: u64) -> Self {
+        let mut r = Self::error(code, msg);
+        r.retry_after_ms = Some(retry_after_ms);
+        r
     }
 
     /// Unwraps an error response into its `(code, msg)` pair, with
@@ -252,6 +293,12 @@ pub struct ServeStats {
     pub reloads: u64,
     /// Failed hot-reload attempts (the old snapshot kept serving).
     pub reload_errors: u64,
+    /// Requests shed without inference: admission-queue rejections
+    /// (`overloaded`) plus in-queue deadline expiries
+    /// (`deadline_exceeded`).
+    pub shed_total: u64,
+    /// Admission-queue depth at the moment this snapshot was taken.
+    pub queue_depth: u64,
     /// Per-code structured-error counters.
     pub errors: ErrorCounters,
     /// Request-latency summary (read-to-write, microseconds).
@@ -277,10 +324,19 @@ pub struct ErrorCounters {
     pub digest_mismatch: u64,
     /// [`codes::RELOAD_FAILED`] responses.
     pub reload_failed: u64,
+    /// [`codes::OVERLOADED`] responses (admission-queue sheds).
+    pub overloaded: u64,
+    /// [`codes::DEADLINE_EXCEEDED`] responses (in-queue expiry sheds).
+    pub deadline_exceeded: u64,
+    /// [`codes::SHUTTING_DOWN`] responses (drain-window refusals).
+    pub shutting_down: u64,
     /// [`codes::INTERNAL`] responses.
     pub internal: u64,
     /// Connections dropped mid-frame (no response possible).
     pub truncated: u64,
+    /// Connections closed because a response write stalled past the
+    /// server's write timeout (peer stopped reading).
+    pub stalled_write: u64,
 }
 
 /// Latency quantiles interpolated from the serving histogram.

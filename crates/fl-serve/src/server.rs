@@ -19,15 +19,30 @@
 //! digest differs from the serving one is refused — clients pinned to the
 //! digest they were built against must never silently get a different
 //! observation contract.
+//!
+//! ## Overload & deadline contract
+//!
+//! The admission queue is bounded (`max_queue`): when it is full, a
+//! `decide` is answered immediately with `overloaded` plus a
+//! `retry_after_ms` hint instead of joining an ever-growing line. A
+//! request that carries a `deadline_ms` budget (or inherits the server's
+//! `default_deadline`) and expires while queued is shed *before*
+//! inference with `deadline_exceeded` — the server never burns a policy
+//! forward on an answer nobody is waiting for. Response writes carry a
+//! `write_timeout`: a peer that stops reading cannot wedge its connection
+//! thread (the write errors, the connection is closed and counted as
+//! `stalled_write`). Shutdown first flips the server into **draining** —
+//! new decides get `shutting_down`, queued work is finished and answered —
+//! then joins every thread.
 
-use crate::batch::{BatchQueue, Loaded, Pending};
+use crate::batch::{BatchError, BatchQueue, Drained, Loaded, Pending};
 use crate::protocol::{
     codes, decode_json, encode_json, read_frame, write_frame, ErrorCounters, FrameError, FrameRead,
     LatencySummary, ServeStats, WireRequest, WireResponse,
 };
 use crate::ServeError;
 use fl_ctrl::ControllerSnapshot;
-use fl_obs::{Counter, Event, Histogram, Recorder};
+use fl_obs::{Counter, Event, Gauge, Histogram, Recorder};
 use fl_rl::snapshot::CheckpointStore;
 use parking_lot::RwLock;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +74,21 @@ pub struct ServeOptions {
     /// Socket read-poll interval: how quickly idle connection threads
     /// notice a server shutdown.
     pub read_timeout: Duration,
+    /// Per-connection response-write timeout: a peer that stops reading
+    /// is disconnected once a write stalls this long, instead of pinning
+    /// its connection thread forever. `None` disables the guard.
+    pub write_timeout: Option<Duration>,
+    /// Admission-queue bound: `decide` requests beyond this many waiting
+    /// entries are shed with `overloaded` + a `retry_after_ms` hint.
+    pub max_queue: usize,
+    /// Server-side default deadline budget applied to `decide` requests
+    /// that do not carry their own `deadline_ms`. `None` = wait forever.
+    pub default_deadline: Option<Duration>,
+    /// Artificial per-batch inference delay, for overload benchmarking
+    /// and deadline tests: emulates a heavier model so offered load can
+    /// exceed capacity deterministically. Zero (the default) in any real
+    /// deployment.
+    pub inference_slowdown: Duration,
     /// When set, a background thread checks the store at this interval and
     /// adopts newer snapshots automatically (in addition to explicit
     /// `reload` requests).
@@ -74,6 +104,10 @@ impl Default for ServeOptions {
             max_batch: 32,
             linger: Duration::from_micros(500),
             read_timeout: Duration::from_millis(250),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_queue: 256,
+            default_deadline: None,
+            inference_slowdown: Duration::ZERO,
             reload_poll: None,
             recorder: Recorder::disabled(),
         }
@@ -88,6 +122,10 @@ pub(crate) struct Metrics {
     pub(crate) batches: Counter,
     reloads: Counter,
     reload_errors: Counter,
+    /// Requests shed without inference: `overloaded` + `deadline_exceeded`.
+    shed_total: Counter,
+    /// Live admission-queue depth (mirrored by the batch queue).
+    pub(crate) queue_depth: Gauge,
     err_bad_magic: Counter,
     err_oversized: Counter,
     err_empty_payload: Counter,
@@ -96,8 +134,12 @@ pub(crate) struct Metrics {
     err_dim_mismatch: Counter,
     err_digest_mismatch: Counter,
     err_reload_failed: Counter,
+    err_overloaded: Counter,
+    err_deadline: Counter,
+    err_shutting_down: Counter,
     err_internal: Counter,
     err_truncated: Counter,
+    err_stalled_write: Counter,
     pub(crate) max_batch_seen: AtomicU64,
     recorder: Recorder,
 }
@@ -111,6 +153,8 @@ impl Metrics {
             batches: recorder.counter("serve.batches"),
             reloads: recorder.counter("serve.reloads"),
             reload_errors: recorder.counter("serve.reload_errors"),
+            shed_total: recorder.counter("serve.shed_total"),
+            queue_depth: recorder.gauge("serve.queue_depth"),
             err_bad_magic: recorder.counter("serve.err.bad_magic"),
             err_oversized: recorder.counter("serve.err.oversized"),
             err_empty_payload: recorder.counter("serve.err.empty_payload"),
@@ -119,8 +163,12 @@ impl Metrics {
             err_dim_mismatch: recorder.counter("serve.err.dim_mismatch"),
             err_digest_mismatch: recorder.counter("serve.err.digest_mismatch"),
             err_reload_failed: recorder.counter("serve.err.reload_failed"),
+            err_overloaded: recorder.counter("serve.err.overloaded"),
+            err_deadline: recorder.counter("serve.err.deadline_exceeded"),
+            err_shutting_down: recorder.counter("serve.err.shutting_down"),
             err_internal: recorder.counter("serve.err.internal"),
             err_truncated: recorder.counter("serve.err.truncated"),
+            err_stalled_write: recorder.counter("serve.err.stalled_write"),
             max_batch_seen: AtomicU64::new(0),
             recorder,
         }
@@ -137,6 +185,9 @@ impl Metrics {
             codes::DIM_MISMATCH => &self.err_dim_mismatch,
             codes::DIGEST_MISMATCH => &self.err_digest_mismatch,
             codes::RELOAD_FAILED => &self.err_reload_failed,
+            codes::OVERLOADED => &self.err_overloaded,
+            codes::DEADLINE_EXCEEDED => &self.err_deadline,
+            codes::SHUTTING_DOWN => &self.err_shutting_down,
             _ => &self.err_internal,
         }
     }
@@ -150,14 +201,21 @@ pub(crate) struct Shared {
     pub(crate) queue: BatchQueue,
     pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
+    /// Drain flag: set strictly before `shutdown`. New `decide` work is
+    /// refused with `shutting_down` while queued work finishes.
+    draining: AtomicBool,
     /// Config digest pinned at startup; immutable for the server lifetime
     /// (reloads refusing digest drift is what makes it safe to cache).
     digest: u32,
     obs_dim: usize,
     action_dim: usize,
     max_batch: usize,
+    max_queue: usize,
+    default_deadline: Option<Duration>,
+    inference_slowdown: Duration,
     linger: Duration,
     read_timeout: Duration,
+    write_timeout: Option<Duration>,
 }
 
 impl Shared {
@@ -181,6 +239,8 @@ impl Shared {
             max_batch_observed: m.max_batch_seen.load(Ordering::Relaxed),
             reloads: m.reloads.value(),
             reload_errors: m.reload_errors.value(),
+            shed_total: m.shed_total.value(),
+            queue_depth: self.queue.depth() as u64,
             errors: ErrorCounters {
                 bad_magic: m.err_bad_magic.value(),
                 oversized: m.err_oversized.value(),
@@ -190,8 +250,12 @@ impl Shared {
                 dim_mismatch: m.err_dim_mismatch.value(),
                 digest_mismatch: m.err_digest_mismatch.value(),
                 reload_failed: m.err_reload_failed.value(),
+                overloaded: m.err_overloaded.value(),
+                deadline_exceeded: m.err_deadline.value(),
+                shutting_down: m.err_shutting_down.value(),
                 internal: m.err_internal.value(),
                 truncated: m.err_truncated.value(),
+                stalled_write: m.err_stalled_write.value(),
             },
             latency_us: LatencySummary {
                 count,
@@ -200,6 +264,18 @@ impl Shared {
                 p999_us: q(0.999),
             },
         }
+    }
+
+    /// Backoff hint for an `overloaded` shed: the estimated time for the
+    /// current backlog to drain — batches ahead of the caller times the
+    /// per-batch cost (linger window + ~1 ms of forward/dispatch, plus any
+    /// configured slowdown). A heuristic, clamped to [1 ms, 10 s]; the
+    /// contract is only "soon but not immediately".
+    fn retry_after_ms(&self, depth: usize) -> u64 {
+        let batches_ahead = (depth / self.max_batch.max(1)) as u64 + 1;
+        let per_batch_ms =
+            self.linger.as_millis() as u64 + self.inference_slowdown.as_millis() as u64 + 1;
+        (batches_ahead * per_batch_ms).clamp(1, 10_000)
     }
 
     /// Attempts to adopt the newest store snapshot. `Ok(false)` when the
@@ -274,18 +350,25 @@ impl DecisionServer {
         };
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let metrics = Metrics::new(recorder);
+        let queue = BatchQueue::new(opts.max_queue.max(1), metrics.queue_depth.clone());
         let shared = Arc::new(Shared {
             obs_dim: snap.obs_dim(),
             action_dim: snap.action_dim(),
             slot: RwLock::new(Arc::new(Loaded { snap, seq })),
             store,
-            queue: BatchQueue::new(),
-            metrics: Metrics::new(recorder),
+            queue,
+            metrics,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             digest,
             max_batch: opts.max_batch.max(1),
+            max_queue: opts.max_queue.max(1),
+            default_deadline: opts.default_deadline,
+            inference_slowdown: opts.inference_slowdown,
             linger: opts.linger,
             read_timeout: opts.read_timeout,
+            write_timeout: opts.write_timeout,
         });
         shared.metrics.recorder.emit(
             Event::phys("serve_start")
@@ -293,6 +376,7 @@ impl DecisionServer {
                 .u("digest", u64::from(digest))
                 .u("obs_dim", shared.obs_dim as u64)
                 .u("action_dim", shared.action_dim as u64)
+                .u("max_queue", shared.max_queue as u64)
                 .s("addr", &local.to_string()),
         );
 
@@ -360,7 +444,26 @@ impl DecisionServer {
             .map_err(|msg| ServeError::Server {
                 code: codes::RELOAD_FAILED.to_string(),
                 msg,
+                retry_after_ms: None,
             })
+    }
+
+    /// Flips the server into drain mode without stopping it: new `decide`
+    /// requests are refused with `shutting_down` while already-admitted
+    /// work keeps flowing through inference and is answered normally.
+    /// Non-mutating requests (`ping`, `stats`) keep working — a load
+    /// balancer can watch the queue empty out. Irreversible.
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::AcqRel) {
+            self.shared.metrics.recorder.emit(
+                Event::phys("serve_drain").u("queue_depth", self.shared.queue.depth() as u64),
+            );
+        }
+    }
+
+    /// Whether [`Self::begin_drain`] (or shutdown) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
     }
 
     fn stop(&mut self) {
@@ -368,6 +471,11 @@ impl DecisionServer {
             return;
         }
         self.stopped = true;
+        // Drain ordering: refuse new decides first, then let the
+        // inference thread finish whatever was already admitted (collect
+        // keeps draining a non-empty queue after shutdown is set), then
+        // join every thread.
+        self.shared.draining.store(true, Ordering::Release);
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue.notify();
         // Unblock the blocking accept() with a throwaway connection.
@@ -430,21 +538,35 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
 
 fn inference_loop(shared: Arc<Shared>) {
     loop {
-        let batch = shared
-            .queue
-            .collect(shared.max_batch, shared.linger, &shared.shutdown);
-        if batch.is_empty() {
-            // Only possible when shutdown is set and the queue is drained.
-            return;
+        let Drained { live, expired } =
+            shared
+                .queue
+                .collect(shared.max_batch, shared.linger, &shared.shutdown);
+        // Shed expired entries first: they are answered (by their
+        // connection threads) with `deadline_exceeded` and never reach
+        // the policy.
+        for pending in expired {
+            let waited_ms = pending.enqueued.elapsed().as_millis() as u64;
+            let _ = pending.tx.send(Err(BatchError::Deadline { waited_ms }));
+        }
+        if live.is_empty() {
+            if shared.shutdown.load(Ordering::Acquire) && shared.queue.depth() == 0 {
+                // Queue fully drained after shutdown: exit.
+                return;
+            }
+            continue;
+        }
+        if !shared.inference_slowdown.is_zero() {
+            std::thread::sleep(shared.inference_slowdown);
         }
         // One Arc clone per batch: every response in it is attributable to
         // exactly this snapshot seq, even if a reload swaps the slot now.
         let loaded = Arc::clone(&shared.slot.read());
-        let rows: Vec<Vec<f64>> = batch.iter().map(|p| p.obs.clone()).collect();
-        let n = batch.len() as u64;
+        let rows: Vec<Vec<f64>> = live.iter().map(|p| p.obs.clone()).collect();
+        let n = live.len() as u64;
         match loaded.snap.decide_rows(&rows) {
             Ok(all_freqs) => {
-                for (pending, freqs) in batch.into_iter().zip(all_freqs) {
+                for (pending, freqs) in live.into_iter().zip(all_freqs) {
                     // A receiver gone (client thread died) is not an error.
                     let _ = pending.tx.send(Ok((loaded.seq, freqs)));
                 }
@@ -461,8 +583,8 @@ fn inference_loop(shared: Arc<Shared>) {
                 // freezes the config, so this is unexpected — but it must
                 // surface as a structured error, never a hang or panic.
                 let msg = format!("batched decide failed: {e}");
-                for pending in batch {
-                    let _ = pending.tx.send(Err(msg.clone()));
+                for pending in live {
+                    let _ = pending.tx.send(Err(BatchError::Internal(msg.clone())));
                 }
             }
         }
@@ -485,6 +607,7 @@ fn reload_poll_loop(shared: Arc<Shared>, interval: Duration) {
 fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(shared.write_timeout);
     loop {
         match read_frame(&mut stream) {
             Ok(FrameRead::Idle) => {
@@ -496,7 +619,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
             Ok(FrameRead::Frame(payload)) => {
                 let t0 = Instant::now();
                 let (response, close) = handle_payload(&shared, &payload);
-                let sent = send_response(&mut stream, &response);
+                let sent = send_response(&shared, &mut stream, &response);
                 shared
                     .metrics
                     .latency_us
@@ -512,7 +635,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
                         shared.metrics.err_counter(code).inc();
                         let resp =
                             WireResponse::error(code, "frame declared a zero-length payload");
-                        if !send_response(&mut stream, &resp) {
+                        if !send_response(&shared, &mut stream, &resp) {
                             return;
                         }
                     }
@@ -525,7 +648,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
                                 crate::protocol::MAX_PAYLOAD
                             ),
                         );
-                        let sent = send_response(&mut stream, &resp);
+                        let sent = send_response(&shared, &mut stream, &resp);
                         if !drained || !sent {
                             return;
                         }
@@ -538,7 +661,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
                         );
                         // Best-effort response; the stream cannot be
                         // resynchronized, so close either way.
-                        let _ = send_response(&mut stream, &resp);
+                        let _ = send_response(&shared, &mut stream, &resp);
                         return;
                     }
                     FrameError::Truncated => {
@@ -555,11 +678,30 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
-/// Encodes and writes a response frame; `false` means the peer is gone.
-fn send_response(stream: &mut TcpStream, response: &WireResponse) -> bool {
-    match encode_json(response) {
-        Ok(payload) => write_frame(stream, &payload).is_ok(),
-        Err(_) => false,
+/// Encodes and writes a response frame; `false` means the peer is gone or
+/// stalled past the write timeout (counted separately) — either way the
+/// connection must close.
+fn send_response(shared: &Shared, stream: &mut TcpStream, response: &WireResponse) -> bool {
+    let Ok(payload) = encode_json(response) else {
+        return false;
+    };
+    match write_frame(stream, &payload) {
+        Ok(()) => true,
+        Err(e) => {
+            // A blocking socket with a write timeout surfaces a stalled
+            // peer as WouldBlock/TimedOut; the frame may be partially
+            // written, so the stream is unusable — close and count it.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                shared.metrics.err_stalled_write.inc();
+                shared.metrics.recorder.emit(
+                    Event::phys("serve_stalled_write").u("payload_len", payload.len() as u64),
+                );
+            }
+            false
+        }
     }
 }
 
@@ -627,11 +769,49 @@ fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
             );
         }
     }
+    // Drain window: already-admitted work keeps flowing, new work is
+    // refused with a retryable code so clients fail over cleanly.
+    if shared.draining.load(Ordering::Acquire) {
+        shared.metrics.err_shutting_down.inc();
+        return WireResponse::error(codes::SHUTTING_DOWN, "server is draining for shutdown");
+    }
+    let now = Instant::now();
+    let deadline = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.default_deadline)
+        .map(|budget| now + budget);
     let (tx, rx) = channel();
-    shared.queue.push(Pending { obs, tx });
+    let pending = Pending {
+        obs,
+        tx,
+        deadline,
+        enqueued: now,
+    };
+    if let Err(_rejected) = shared.queue.try_push(pending) {
+        let depth = shared.queue.depth();
+        shared.metrics.err_overloaded.inc();
+        shared.metrics.shed_total.inc();
+        return WireResponse::error_with_retry(
+            codes::OVERLOADED,
+            format!(
+                "admission queue is full ({depth}/{} entries)",
+                shared.max_queue
+            ),
+            shared.retry_after_ms(depth),
+        );
+    }
     match rx.recv() {
         Ok(Ok((seq, freqs))) => WireResponse::decided(seq, freqs),
-        Ok(Err(msg)) => {
+        Ok(Err(BatchError::Deadline { waited_ms })) => {
+            shared.metrics.err_deadline.inc();
+            shared.metrics.shed_total.inc();
+            WireResponse::error(
+                codes::DEADLINE_EXCEEDED,
+                format!("deadline expired after {waited_ms} ms in the batch queue"),
+            )
+        }
+        Ok(Err(BatchError::Internal(msg))) => {
             shared.metrics.err_internal.inc();
             WireResponse::error(codes::INTERNAL, msg)
         }

@@ -1,0 +1,290 @@
+//! Overload and deadline suite for the fl-serve decision server.
+//!
+//! Contract under test (DESIGN.md §8): a server past capacity degrades
+//! *structurally*, never silently — the bounded admission queue sheds
+//! with `overloaded` + a `retry_after_ms` hint, queued requests whose
+//! deadline budget expires are shed with `deadline_exceeded` *before*
+//! burning a policy forward, a draining server refuses new decides with
+//! `shutting_down` while finishing admitted work, and a peer that stops
+//! reading responses is disconnected by the write timeout instead of
+//! wedging its connection thread. Every shed is visible in `stats`
+//! (`shed_total`, `queue_depth`, per-code error counters).
+//!
+//! All timing here is coarse (tens of ms vs. ms-scale deadlines) so the
+//! assertions hold on slow CI machines.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use fl_rl::snapshot::CheckpointStore;
+use fl_serve::protocol::{codes, encode_json};
+use fl_serve::{DecisionServer, ServeClient, ServeError, ServeOptions, WireRequest};
+use std::time::Duration;
+
+/// A dedicated slow server: single-row batches and an artificial 100 ms
+/// per-batch inference delay, so a handful of clients is already "past
+/// capacity" and queue/deadline behavior is reachable deterministically.
+fn slow_server(tag: &str, max_queue: usize, default_deadline: Option<Duration>) -> DecisionServer {
+    let dir = common::temp_dir(tag);
+    let (_sys, snap) = common::make_snapshot(23);
+    let store = CheckpointStore::new(&dir).unwrap();
+    snap.save(&store).unwrap();
+    DecisionServer::start(
+        &dir,
+        "127.0.0.1:0",
+        ServeOptions {
+            max_batch: 1,
+            linger: Duration::ZERO,
+            max_queue,
+            default_deadline,
+            inference_slowdown: Duration::from_millis(100),
+            write_timeout: Some(Duration::from_millis(500)),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn client(server: &DecisionServer) -> ServeClient {
+    let mut c = ServeClient::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c
+}
+
+#[test]
+fn expired_deadlines_are_shed_before_inference() {
+    let server = slow_server("deadline", 64, None);
+    let obs = vec![0.25; server.obs_dim()];
+
+    // Build a backlog: three no-deadline decides keep the single-row,
+    // 100 ms/batch inference thread busy for ~300 ms.
+    let backlog: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = server.local_addr();
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                c.decide(&obs)
+            })
+        })
+        .collect();
+    // Let the backlog get admitted, then join the queue with a 1 ms
+    // budget — it cannot possibly be served in time and must be shed.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut c = client(&server);
+    let request = WireRequest::decide(obs.clone()).with_deadline(1);
+    let err = c.decide_request(&request).unwrap_err();
+    match &err {
+        ServeError::Server { code, msg, .. } => {
+            assert_eq!(code, codes::DEADLINE_EXCEEDED);
+            assert!(
+                msg.contains("ms"),
+                "message should say how long it waited: {msg}"
+            );
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    assert!(err.is_retryable(), "deadline_exceeded must be retryable");
+
+    // The backlog itself is unharmed — deadline shedding is per-request.
+    for handle in backlog {
+        let (seq, freqs) = handle
+            .join()
+            .unwrap()
+            .expect("no-deadline decide must succeed");
+        assert_eq!(seq, 1);
+        assert_eq!(freqs.len(), server.action_dim());
+    }
+    // A generous deadline is comfortably met on the now-idle server.
+    let generous = WireRequest::decide(obs).with_deadline(10_000);
+    c.decide_request(&generous)
+        .expect("generous deadline must be served");
+
+    let stats = server.stats();
+    assert!(stats.shed_total >= 1, "shed_total must count the expiry");
+    assert!(stats.errors.deadline_exceeded >= 1);
+    assert_eq!(stats.errors.overloaded, 0);
+}
+
+#[test]
+fn server_default_deadline_applies_to_undecorated_requests() {
+    let server = slow_server("default-deadline", 64, Some(Duration::from_millis(1)));
+    let obs = vec![0.25; server.obs_dim()];
+
+    // Occupy the inference thread so the probe request has to queue past
+    // its (server-supplied) 1 ms budget. The occupier carries its own
+    // generous per-request deadline, which must override the default.
+    let occupier = {
+        let addr = server.local_addr();
+        let obs = obs.clone();
+        std::thread::spawn(move || {
+            let mut c = ServeClient::connect(addr).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            c.decide_request(&WireRequest::decide(obs).with_deadline(30_000))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(40));
+    let err = client(&server).decide(&obs).unwrap_err();
+    match err {
+        ServeError::Server { ref code, .. } => assert_eq!(code, codes::DEADLINE_EXCEEDED),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    occupier
+        .join()
+        .unwrap()
+        .expect("per-request deadline must override the server default");
+}
+
+#[test]
+fn full_admission_queue_sheds_with_overloaded_and_retry_hint() {
+    let server = slow_server("overload", 2, None);
+    let obs = vec![0.25; server.obs_dim()];
+
+    // 8 concurrent decides against capacity 1-in-flight + 2 queued:
+    // most must be shed immediately with `overloaded`.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = server.local_addr();
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                c.decide(&obs)
+            })
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for handle in handles {
+        match handle.join().unwrap() {
+            Ok((seq, freqs)) => {
+                assert_eq!(seq, 1);
+                assert_eq!(freqs.len(), server.action_dim());
+                ok += 1;
+            }
+            Err(err @ ServeError::Server { .. }) => {
+                let ServeError::Server { ref code, .. } = err else {
+                    unreachable!()
+                };
+                assert_eq!(code, codes::OVERLOADED, "only overloaded sheds expected");
+                assert!(err.is_retryable(), "overloaded must be retryable");
+                let hint = err
+                    .retry_after()
+                    .expect("overloaded must carry retry_after_ms");
+                assert!(hint > Duration::ZERO && hint <= Duration::from_secs(10));
+                overloaded += 1;
+            }
+            Err(other) => panic!("unexpected failure kind: {other:?}"),
+        }
+    }
+    assert_eq!(ok + overloaded, 8);
+    assert!(ok >= 1, "the in-flight + queued requests must be served");
+    assert!(overloaded >= 1, "past-capacity requests must be shed");
+
+    let stats = server.stats();
+    assert_eq!(stats.errors.overloaded as usize, overloaded);
+    assert_eq!(stats.shed_total as usize, overloaded);
+    assert_eq!(stats.queue_depth, 0, "queue must drain back to empty");
+    // Shedding never costs a forward: decisions == served requests.
+    assert_eq!(stats.decisions as usize, ok);
+}
+
+#[test]
+fn draining_refuses_new_work_while_finishing_inflight() {
+    let server = slow_server("drain", 64, None);
+    let obs = vec![0.25; server.obs_dim()];
+
+    // Admit one decide (send the frame, then read the response later) so
+    // there is provably in-flight work when the drain begins.
+    let mut inflight = client(&server);
+    inflight
+        .send_payload(&encode_json(&WireRequest::decide(obs.clone())).unwrap())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+
+    assert!(!server.is_draining());
+    server.begin_drain();
+    assert!(server.is_draining());
+
+    // New decides are refused with a structured, retryable code...
+    let mut late = client(&server);
+    let err = late.decide(&obs).unwrap_err();
+    match err {
+        ServeError::Server { ref code, .. } => assert_eq!(code, codes::SHUTTING_DOWN),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    assert!(
+        err.is_retryable(),
+        "shutting_down must steer clients elsewhere, retryably"
+    );
+
+    // ...liveness and observability survive the drain window...
+    late.ping().expect("ping must work while draining");
+    let stats = late.stats().expect("stats must work while draining");
+    assert!(stats.errors.shutting_down >= 1);
+
+    // ...and the admitted request is finished, not abandoned.
+    let response = inflight
+        .read_response()
+        .expect("in-flight decide must be answered");
+    assert!(response.ok, "in-flight decide must succeed: {response:?}");
+    assert_eq!(response.seq, Some(1));
+
+    let final_stats = server.shutdown();
+    assert!(final_stats.decisions >= 1);
+}
+
+#[test]
+fn stalled_reader_is_disconnected_not_wedged() {
+    let server = slow_server("stall", 64, None);
+    let obs = vec![0.25; server.obs_dim()];
+
+    // Pipeline tens of thousands of stats requests and never read a
+    // response: ~26 MB of responses against ~4 MB of kernel buffering
+    // forces the server's write to stall until its write timeout fires.
+    {
+        let mut hog = ServeClient::connect(server.local_addr()).unwrap();
+        hog.set_write_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let frame = encode_json(&WireRequest::stats()).unwrap();
+        for _ in 0..40_000 {
+            if hog.send_payload(&frame).is_err() {
+                break; // server already cut us loose — that's the point
+            }
+        }
+        // Hold the socket open (still not reading) until the server's
+        // write timeout must have fired.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            if server.stats().errors.stalled_write >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never recorded a stalled write"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // The server survives to serve fresh, well-behaved connections.
+    let (seq, freqs) = client(&server)
+        .decide(&obs)
+        .expect("server must survive a stalled peer");
+    assert_eq!(seq, 1);
+    assert_eq!(freqs.len(), server.action_dim());
+    assert!(server.stats().errors.stalled_write >= 1);
+}
+
+#[test]
+fn stats_surface_queue_depth_and_shed_total_at_rest() {
+    let server = slow_server("stats-rest", 4, None);
+    let stats = client(&server).stats().unwrap();
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.shed_total, 0);
+    assert_eq!(stats.errors.overloaded, 0);
+    assert_eq!(stats.errors.deadline_exceeded, 0);
+    assert_eq!(stats.errors.shutting_down, 0);
+    assert_eq!(stats.errors.stalled_write, 0);
+}

@@ -168,6 +168,7 @@ fn semantic_errors_survive_same_connection() {
         kind: "decide".to_string(),
         obs: None,
         digest: None,
+        deadline_ms: None,
     };
     expect_code(c.request(&no_obs), codes::BAD_REQUEST);
 

@@ -241,7 +241,7 @@ fn reload_refuses_config_drift() {
     drifted.save(&store).unwrap(); // seq 2
 
     match client.reload() {
-        Err(ServeError::Server { code, msg }) => {
+        Err(ServeError::Server { code, msg, .. }) => {
             assert_eq!(code, codes::RELOAD_FAILED);
             assert!(msg.contains("digest"), "unhelpful message: {msg}");
         }
