@@ -7,14 +7,17 @@
 //! cargo run --release -p fl-bench --bin obs_report -- out/
 //! ```
 //!
-//! Usage: `obs_report [--det] <file.jsonl | dir>...`
+//! Usage: `obs_report [--det] [--trace] <file.jsonl | dir>...`
 //!
 //! A directory argument expands to every `*.jsonl` inside it (sorted).
 //! `--det` prints each log's deterministic projection instead of the
 //! report — the exact lines CI diffs across worker counts and
-//! kill/resume boundaries. Any schema violation (unparsable line, missing
-//! `ev`/`det`, keyless deterministic event, non-object `wall`) makes the
-//! process exit nonzero.
+//! kill/resume boundaries. `--trace` appends a request-trace summary
+//! section (stage attribution reconstructed from `trace` events; see
+//! `obs_trace` for the standalone tool). Any schema violation
+//! (unparsable line, missing `ev`/`det`, keyless deterministic event,
+//! unknown event kind for the current schema version, non-object `wall`)
+//! makes the process exit nonzero.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -36,15 +39,17 @@ fn print_or_exit(text: &str) {
 
 fn run() -> i32 {
     let mut det_only = false;
+    let mut with_trace = false;
     let mut inputs: Vec<PathBuf> = Vec::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--det" => det_only = true,
+            "--trace" => with_trace = true,
             _ => inputs.push(PathBuf::from(a)),
         }
     }
     if inputs.is_empty() {
-        eprintln!("usage: obs_report [--det] <file.jsonl | dir>...");
+        eprintln!("usage: obs_report [--det] [--trace] <file.jsonl | dir>...");
         return 2;
     }
 
@@ -96,7 +101,7 @@ fn run() -> i32 {
             }
             continue;
         }
-        match report(file, &text) {
+        match report(file, &text, with_trace) {
             Ok(()) => {}
             Err(e) => {
                 eprintln!("obs_report: {}: {e}", file.display());
@@ -108,13 +113,13 @@ fn run() -> i32 {
 }
 
 /// Validates every line of one log and prints its report sections.
-fn report(file: &std::path::Path, text: &str) -> fl_obs::ObsResult<()> {
+fn report(file: &std::path::Path, text: &str, with_trace: bool) -> fl_obs::ObsResult<()> {
     let mut events: Vec<Value> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let v = fl_obs::validate_line(line)
+        let v = fl_obs::validate_line_versioned(line, fl_obs::SCHEMA_VERSION)
             .map_err(|e| fl_obs::ObsError::Schema(format!("line {}: {e}", i + 1)))?;
         events.push(v);
     }
@@ -134,9 +139,25 @@ fn report(file: &std::path::Path, text: &str) -> fl_obs::ObsResult<()> {
     loss_quantiles(&mut out, &events);
     fault_section(&mut out, &events);
     intervention_timeline(&mut out, &events);
+    if with_trace {
+        trace_section(&mut out, text);
+    }
     let _ = writeln!(out);
     print_or_exit(&out);
     Ok(())
+}
+
+/// The `--trace` section: stage attribution over the log's `trace`
+/// events, rendered by the same code `obs_trace` uses.
+fn trace_section(out: &mut String, text: &str) {
+    let spans = fl_obs::trace::collect_spans(text);
+    let _ = writeln!(out, "\n-- request traces --");
+    if spans.is_empty() {
+        let _ = writeln!(out, "no trace events in this log");
+        return;
+    }
+    let attr = fl_obs::trace::attribution(&spans);
+    let _ = writeln!(out, "{}", fl_obs::trace::render_attribution(&attr));
 }
 
 fn field_str<'a>(ev: &'a Value, name: &str) -> Option<&'a str> {

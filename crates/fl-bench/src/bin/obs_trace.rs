@@ -1,0 +1,77 @@
+//! Reconstructs per-request timelines from the `trace` events in one or
+//! more fl-obs JSONL logs and prints the stage-attribution table: per
+//! stage (queue_wait, batch_linger, inference, write) p50/p99/p999 and
+//! share of total latency, the fleet-wide dominant stage, and the traces
+//! whose dominant stage differs from that mode (the "why was *this one*
+//! slow" list).
+//!
+//! ```bash
+//! fl-serve --ckpt ckpts/ --obs out/          # logs trace events
+//! cargo run --release -p fl-bench --bin obs_trace -- out/
+//! ```
+//!
+//! Usage: `obs_trace <file.jsonl | dir>...`
+//!
+//! A directory argument expands to every `*.jsonl` inside it (sorted);
+//! multiple logs are merged into one attribution (spans carry trace ids,
+//! so retries that landed on different connections still group). The
+//! output is a pure function of the logs' trace events — re-running over
+//! the same files prints byte-identical tables, which is what
+//! `tests/serve_trace.rs` pins.
+
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let inputs: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if inputs.is_empty() {
+        eprintln!("usage: obs_trace <file.jsonl | dir>...");
+        return 2;
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut found: Vec<PathBuf> = match std::fs::read_dir(&input) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("obs_trace: cannot read {}: {e}", input.display());
+                    return 1;
+                }
+            };
+            found.sort();
+            if found.is_empty() {
+                eprintln!("obs_trace: no .jsonl files in {}", input.display());
+                return 1;
+            }
+            files.extend(found);
+        } else {
+            files.push(input);
+        }
+    }
+
+    let mut spans = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs_trace: cannot read {}: {e}", file.display());
+                return 1;
+            }
+        };
+        spans.extend(fl_obs::trace::collect_spans(&text));
+    }
+    if spans.is_empty() {
+        eprintln!("obs_trace: no trace events in the given logs (serve with tracing clients?)");
+        return 1;
+    }
+    let attr = fl_obs::trace::attribution(&spans);
+    println!("{}", fl_obs::trace::render_attribution(&attr));
+    0
+}

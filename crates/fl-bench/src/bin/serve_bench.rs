@@ -10,7 +10,7 @@
 //! p99-of-accepted).
 //!
 //! Usage:
-//! `cargo run --release -p fl-bench --bin serve_bench [budget_ms] [--write-baseline | --overload | --chaos]`
+//! `cargo run --release -p fl-bench --bin serve_bench [budget_ms] [--write-baseline | --overload | --chaos | --trace]`
 //!
 //! The default budget (2000 ms per case, plus a short training run)
 //! keeps the full benchmark around ten seconds — the CI smoke budget.
@@ -19,16 +19,21 @@
 //! report to `results/serve_bench.json` at the repo root for
 //! EXPERIMENTS.md bookkeeping.
 //!
-//! `--overload` runs only the past-capacity scenario. `--chaos` runs a
-//! chaos-proxy smoke: a [`fl_serve::ResilientClient`] drives decides
-//! through a seeded [`fl_serve::ChaosProxy`] (latency, resets, torn
-//! writes, downstream corruption) for the budget, and every completed
-//! decide is verified bit-identical to the in-process controller — the
-//! CI-facing "the hardened path converges under fire" check.
+//! `--overload` runs only the past-capacity scenario, including the
+//! server-side shed-stage breakdown (admission vs. in-queue deadline
+//! expiry). `--chaos` runs a chaos-proxy smoke: a
+//! [`fl_serve::ResilientClient`] drives decides through a seeded
+//! [`fl_serve::ChaosProxy`] (latency, resets, torn writes, downstream
+//! corruption) for the budget, and every completed decide is verified
+//! bit-identical to the in-process controller — the CI-facing "the
+//! hardened path converges under fire" check. `--trace` runs only the
+//! traced sample and prints the stage-attribution table.
 
 use fl_bench::args::ParsedArgs;
 use fl_bench::dump_json;
-use fl_bench::serve_perf::{measure, prepare_store, print_report, run_overload_case};
+use fl_bench::serve_perf::{
+    measure, prepare_store, print_report, run_overload_case, run_trace_case,
+};
 use fl_serve::{
     ChaosModel, ChaosPlan, ChaosProxy, DecisionServer, ResilientClient, RetryPolicy, ServeOptions,
 };
@@ -110,11 +115,26 @@ fn chaos_smoke(budget: Duration) {
 }
 
 fn main() {
-    let cli = ParsedArgs::parse(&[], &["--write-baseline", "--overload", "--chaos"]);
+    let cli = ParsedArgs::parse(
+        &[],
+        &["--write-baseline", "--overload", "--chaos", "--trace"],
+    );
     let budget = Duration::from_millis(cli.positional_or(0, 2000u64));
 
     if cli.has("--chaos") {
         chaos_smoke(budget);
+        return;
+    }
+    if cli.has("--trace") {
+        let dir = temp_store();
+        let (_snap, pool) = prepare_store(&dir, 512);
+        let attr = run_trace_case(&dir, 256, &pool);
+        let _ = std::fs::remove_dir_all(&dir);
+        println!("{}", fl_obs::trace::render_attribution(&attr));
+        if attr.traces == 0 {
+            eprintln!("serve_bench[trace]: FAIL — no traced spans reached the log");
+            std::process::exit(1);
+        }
         return;
     }
     if cli.has("--overload") {
@@ -134,6 +154,12 @@ fn main() {
             case.goodput_rps,
             case.p99_accepted_us
         );
+        if let (Some(adm), Some(q)) = (case.shed_admission, case.shed_queue) {
+            println!(
+                "  shed by stage: admission {adm} (queue full / draining), \
+                 queue_wait {q} (deadline expired in queue)"
+            );
+        }
         if case.transport_failures > 0 {
             eprintln!("serve_bench[overload]: FAIL — unstructured failures under overload");
             std::process::exit(1);

@@ -22,10 +22,14 @@
 
 use crate::Scenario;
 use fl_ctrl::ControllerSnapshot;
-use fl_obs::quantile_sorted;
+use fl_obs::trace::{attribution, collect_spans, TraceAttribution};
+use fl_obs::{quantile_sorted, Recorder};
 use fl_rl::snapshot::CheckpointStore;
 use fl_serve::protocol::codes;
-use fl_serve::{DecisionServer, ServeClient, ServeError, ServeOptions, WireRequest};
+use fl_serve::{
+    DecisionServer, ResilientClient, RetryPolicy, ServeClient, ServeError, ServeOptions,
+    WireRequest,
+};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -88,6 +92,12 @@ pub struct OverloadCase {
     pub shed_rate: f64,
     /// p99 latency of *accepted* requests, microseconds.
     pub p99_accepted_us: f64,
+    /// Server-side sheds attributed to admission (`overloaded` +
+    /// `shutting_down`), from the stage counters. `None` in baselines
+    /// predating stage attribution.
+    pub shed_admission: Option<u64>,
+    /// Server-side sheds attributed to in-queue deadline expiry.
+    pub shed_queue: Option<u64>,
 }
 
 /// A full sweep, serialized as the committed baseline
@@ -104,6 +114,10 @@ pub struct ServeReport {
     pub cases: Vec<ServeCase>,
     /// The past-capacity scenario (absent in pre-overload baselines).
     pub overload: Option<OverloadCase>,
+    /// Stage attribution of a traced sample (absent in pre-trace
+    /// baselines). Informational — quantiles are host-dependent, so the
+    /// gate does not compare them.
+    pub trace: Option<TraceAttribution>,
 }
 
 /// Trains (cache-aware) the testbed controller and saves it as the only
@@ -267,7 +281,7 @@ pub fn run_overload_case(ckpt_dir: &Path, budget: Duration, obs_pool: &[Vec<f64>
         failed += f;
     }
     let elapsed = start.elapsed().as_secs_f64();
-    server.shutdown();
+    let stats = server.shutdown();
     accepted_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let accepted = accepted_us.len() as u64;
     let offered = accepted + shed + failed;
@@ -284,7 +298,43 @@ pub fn run_overload_case(ckpt_dir: &Path, budget: Duration, obs_pool: &[Vec<f64>
         } else {
             quantile_sorted(&accepted_us, 0.99)
         },
+        shed_admission: stats.stages.as_ref().map(|s| s.shed_admission),
+        shed_queue: stats.stages.as_ref().map(|s| s.shed_queue),
     }
+}
+
+/// Drives `requests` traced decides through a fresh server logging to a
+/// JSONL file, then reconstructs the stage attribution from that log —
+/// the same offline pipeline the `obs_trace` binary runs. The trace-id
+/// stream is a pure function of the retry seed, so repeated runs
+/// attribute the same trace ids (durations vary with the host, the
+/// table *structure* does not).
+pub fn run_trace_case(ckpt_dir: &Path, requests: u64, obs_pool: &[Vec<f64>]) -> TraceAttribution {
+    let log_dir = std::env::temp_dir().join(format!(
+        "fedfreq-serve-trace-{}-{requests}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    std::fs::create_dir_all(&log_dir).expect("trace log dir");
+    let log_path = log_dir.join("serve.jsonl");
+    let opts = ServeOptions {
+        recorder: Recorder::to_file(&log_path).expect("trace recorder"),
+        ..ServeOptions::default()
+    };
+    let server = DecisionServer::start(ckpt_dir, "127.0.0.1:0", opts).expect("server starts");
+    let mut client =
+        ResilientClient::new(server.local_addr(), RetryPolicy::default()).expect("client builds");
+    client.set_tracing(true);
+    for i in 0..requests {
+        client
+            .decide(&obs_pool[i as usize % obs_pool.len()])
+            .expect("traced decide ok");
+    }
+    server.shutdown();
+    let text = std::fs::read_to_string(&log_path).expect("trace log readable");
+    let attr = attribution(&collect_spans(&text));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    attr
 }
 
 /// The full sweep: serial floor plus two burst levels, each against its
@@ -299,12 +349,14 @@ pub fn measure(budget: Duration) -> ServeReport {
         .map(|&(name, clients)| run_case(&dir, name, clients, budget, &pool))
         .collect();
     let overload = run_overload_case(&dir, budget, &pool);
+    let trace = run_trace_case(&dir, 256, &pool);
     let report = ServeReport {
         budget_ms: budget.as_millis() as u64,
         obs_dim: snap.obs_dim(),
         action_dim: snap.action_dim(),
         cases,
         overload: Some(overload),
+        trace: Some(trace),
     };
     let _ = std::fs::remove_dir_all(&dir);
     report
@@ -409,6 +461,15 @@ pub fn print_report(report: &ServeReport) {
             o.shed_rate * 100.0,
             o.p99_accepted_us
         );
+        if let (Some(adm), Some(q)) = (o.shed_admission, o.shed_queue) {
+            println!(
+                "           shed by stage: admission {adm} (queue full / draining), \
+                 queue_wait {q} (deadline expired in queue)"
+            );
+        }
+    }
+    if let Some(t) = &report.trace {
+        println!("\n{}", fl_obs::trace::render_attribution(t));
     }
 }
 
@@ -436,6 +497,7 @@ mod tests {
             action_dim: 3,
             cases,
             overload: None,
+            trace: None,
         }
     }
 
@@ -450,6 +512,8 @@ mod tests {
             goodput_rps: goodput,
             shed_rate: shed as f64 / (accepted + shed + failed) as f64,
             p99_accepted_us: p99,
+            shed_admission: None,
+            shed_queue: None,
         }
     }
 

@@ -101,6 +101,14 @@ impl ControllerSnapshot {
         self.controller.policy().action_dim()
     }
 
+    /// Total trainable parameters in the serving policy: the mean network
+    /// plus the per-device log-std vector. Exposed as a serving gauge so
+    /// scrapes can attribute latency changes to model-size changes.
+    pub fn param_count(&self) -> usize {
+        let policy = self.controller.policy();
+        policy.mean_net().num_params() + policy.log_std().len()
+    }
+
     /// CRC-32 fingerprint of the serving configuration (dimensions, env
     /// constants, frequency caps — not the weights). A client pins the
     /// digest of the snapshot it was built against; the server rejects
@@ -269,6 +277,15 @@ mod tests {
         // Singleton batch equals its slice of the larger batch.
         let single = snap.decide_rows(&rows[..1]).unwrap();
         assert_eq!(single[0], batched[0]);
+    }
+
+    #[test]
+    fn param_count_is_mean_net_plus_log_std() {
+        let (_, snap) = snapshot(4);
+        // obs_dim 15, hidden [8], action_dim 3:
+        // (15*8 + 8) + (8*3 + 3) weights+biases, plus 3 log-std entries.
+        let expected = (15 * 8 + 8) + (8 * 3 + 3) + 3;
+        assert_eq!(snap.param_count(), expected);
     }
 
     #[test]

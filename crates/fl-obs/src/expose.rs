@@ -1,0 +1,163 @@
+//! Prometheus-style text exposition of a [`crate::Recorder`]'s metric
+//! registries.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] into the plain-text
+//! scrape format: one `# TYPE` comment per metric, counters and gauges as
+//! bare samples, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum` and `_count`. The output is deterministic — snapshots are
+//! name-sorted and objects render in fixed order — so two scrapes of the
+//! same registry state are byte-identical.
+//!
+//! Metric names pass through [`sanitize_metric_name`]: the repo's
+//! dotted names (`serve.latency_us`) become legal Prometheus names
+//! (`serve_latency_us`). No label support beyond the histogram `le` —
+//! the serving stack has no multi-dimensional metrics, and the flat
+//! format keeps the renderer trivially auditable.
+
+use crate::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a registry name onto the Prometheus metric-name charset
+/// `[a-zA-Z0-9_:]`: every other byte becomes `_`, and a leading digit is
+/// prefixed with `_` (names must not start with a digit).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a float sample the way Prometheus expects: integral values
+/// print without a fraction, non-finite values as `NaN`/`+Inf`/`-Inf`.
+fn fmt_sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (i, &bound) in h.bounds.iter().enumerate() {
+        cum += h.counts.get(i).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+            fmt_sample(bound)
+        ));
+    }
+    let total: u64 = h.counts.iter().sum();
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {total}\n"));
+    out.push_str(&format!("{name}_sum {}\n", fmt_sample(h.sum)));
+    out.push_str(&format!("{name}_count {total}\n"));
+}
+
+/// Renders the snapshot as Prometheus plain-text exposition. Guarantees
+/// (pinned by tests and the raw-TCP scrape smoke in CI):
+///
+/// * every metric is preceded by exactly one `# TYPE` line,
+/// * histogram `_bucket` series are cumulative and end with `le="+Inf"`
+///   whose value equals `_count`,
+/// * all names match `[a-zA-Z_:][a-zA-Z0-9_:]*`,
+/// * output ends with a trailing newline (or is empty for an empty
+///   snapshot).
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!(
+            "# TYPE {name} gauge\n{name} {}\n",
+            fmt_sample(*value)
+        ));
+    }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, &sanitize_metric_name(name), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_metric_name("serve.latency_us"), "serve_latency_us");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ns:counter"), "ns:counter");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn fmt_sample_handles_integers_floats_and_nonfinite() {
+        assert_eq!(fmt_sample(3.0), "3");
+        assert_eq!(fmt_sample(2.5), "2.5");
+        assert_eq!(fmt_sample(-1.0), "-1");
+        assert_eq!(fmt_sample(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_sample(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_sample(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn render_counters_gauges_histograms_hand_computed() {
+        let rec = Recorder::in_memory();
+        rec.counter("serve.decisions").add(7);
+        rec.gauge("serve.queue_depth").set(3.0);
+        let h = rec.histogram("serve.latency_us", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(4.0);
+        h.observe(400.0);
+        let text = render_prometheus(&rec.metrics_snapshot());
+        let expected = "\
+# TYPE serve_decisions counter\n\
+serve_decisions 7\n\
+# TYPE serve_queue_depth gauge\n\
+serve_queue_depth 3\n\
+# TYPE serve_latency_us histogram\n\
+serve_latency_us_bucket{le=\"1\"} 1\n\
+serve_latency_us_bucket{le=\"10\"} 2\n\
+serve_latency_us_bucket{le=\"+Inf\"} 3\n\
+serve_latency_us_sum 404.5\n\
+serve_latency_us_count 3\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let rec = Recorder::in_memory();
+        rec.counter("z.last").inc();
+        rec.counter("a.first").inc();
+        let a = render_prometheus(&rec.metrics_snapshot());
+        let b = render_prometheus(&rec.metrics_snapshot());
+        assert_eq!(a, b);
+        let first = a.find("a_first").unwrap();
+        let last = a.find("z_last").unwrap();
+        assert!(first < last, "registry order is name-sorted");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(
+            render_prometheus(&Recorder::disabled().metrics_snapshot()),
+            ""
+        );
+    }
+}

@@ -41,6 +41,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expose;
+pub mod trace;
+
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -385,14 +388,34 @@ impl Histogram {
 /// from bucket `counts` over upper-edge `bounds` (plus one trailing
 /// overflow count), by linear interpolation within the bucket that
 /// contains the target rank. The first bucket's lower edge is taken as
-/// `0.0` — values are assumed non-negative — and the overflow bucket
-/// reports the last finite edge. Returns NaN for an empty histogram.
+/// `0.0` — values are assumed non-negative. Returns NaN for an empty
+/// histogram.
+///
+/// Two edge conventions are pinned by hand-computed tests:
+///
+/// * **Exact bucket bounds.** The target rank `q * total` is snapped to
+///   the nearest integer when it is within float error of one, so a rank
+///   that lands exactly on a cumulative bucket boundary reports that
+///   bucket's upper edge instead of skipping into the next non-empty
+///   bucket. (Without the snap, `0.1 * 30 = 3.0000000000000004` walks
+///   past a bucket whose cumulative count is exactly 3.)
+/// * **Overflow bucket.** Ranks landing in the `+inf` bucket report the
+///   last finite edge — there is no upper edge to interpolate toward, so
+///   the estimate saturates (a deliberate under-estimate; widen the
+///   bounds if overflow mass matters).
 pub fn histogram_quantile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
     let total: u64 = counts.iter().sum();
     if total == 0 || counts.len() != bounds.len() + 1 {
         return f64::NAN;
     }
-    let target = q.clamp(0.0, 1.0) * total as f64;
+    let raw = q.clamp(0.0, 1.0) * total as f64;
+    // Snap ranks that are within float error of an integer: q*total is
+    // computed in f64 and can land an ulp past an exact bucket boundary.
+    let target = if (raw - raw.round()).abs() < 1e-9 * (total as f64).max(1.0) {
+        raw.round()
+    } else {
+        raw
+    };
     let mut cum = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         let next = cum + c;
@@ -426,6 +449,42 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
     sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+// ---------------------------------------------------------------------------
+// Metrics snapshot
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one histogram's buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket edges, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one more entry than `bounds` (the trailing
+    /// overflow bucket).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Point-in-time copy of a [`Recorder`]'s metric registries, in
+/// deterministic (sorted-by-name) order. This is what
+/// [`expose::render_prometheus`] serializes for scrapes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, buckets)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 // ---------------------------------------------------------------------------
@@ -715,6 +774,49 @@ impl Recorder {
         }
     }
 
+    /// Snapshots every registered counter, gauge, and histogram in
+    /// deterministic name order. Empty when disabled. The three
+    /// registries are locked one at a time, so the snapshot is
+    /// per-registry consistent (good enough for exposition — Prometheus
+    /// scrapes make the same non-atomicity assumption).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.0 else {
+            return MetricsSnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, g)| (k.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                        sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
     /// Current value of a counter by name (0 if absent or disabled).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.0.as_ref().map_or(0, |inner| {
@@ -848,6 +950,67 @@ impl Recorder {
 // ---------------------------------------------------------------------------
 // Log analysis: schema validation & deterministic projection
 // ---------------------------------------------------------------------------
+
+/// Current event-schema version. Version 1 is the PR 4 det/phys schema;
+/// version 2 adds the physical `trace` event kind (PR 9). Each version's
+/// [`known_events`] list is a superset of the previous one, so validating
+/// an old log against the latest version always passes.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Event kinds introduced by schema version 1.
+const KNOWN_EVENTS_V1: &[&str] = &[
+    "checkpoint_load",
+    "checkpoint_save",
+    "episode",
+    "fl_round",
+    "intervention",
+    "metrics_summary",
+    "note",
+    "phase_summary",
+    "pool_round",
+    "ppo_update",
+    "run_meta",
+    "serve_drain",
+    "serve_reload",
+    "serve_reload_failed",
+    "serve_stalled_write",
+    "serve_start",
+    "serve_stop",
+    "warning",
+];
+
+/// Event kinds introduced by schema version 2 (on top of version 1).
+const KNOWN_EVENTS_V2: &[&str] = &["trace"];
+
+/// The event kinds allowed at schema `version` (clamped to
+/// `1..=`[`SCHEMA_VERSION`]). Later versions only ever *add* kinds, so a
+/// log valid at version `n` is valid at every version `≥ n` — the
+/// property that lets `obs_report` validate old logs against the latest
+/// allowlist without breaking them.
+pub fn known_events(version: u32) -> Vec<&'static str> {
+    let version = version.clamp(1, SCHEMA_VERSION);
+    let mut kinds: Vec<&'static str> = KNOWN_EVENTS_V1.to_vec();
+    if version >= 2 {
+        kinds.extend_from_slice(KNOWN_EVENTS_V2);
+    }
+    kinds.sort_unstable();
+    kinds
+}
+
+/// Validates a line like [`validate_line`] and additionally checks the
+/// event kind against the [`known_events`] allowlist for `version`.
+/// Unknown kinds are schema errors: a typo'd emitter should fail report
+/// validation rather than silently vanish from every analysis.
+pub fn validate_line_versioned(line: &str, version: u32) -> ObsResult<Value> {
+    let v = validate_line(line)?;
+    let ev = v.get("ev").and_then(Value::as_str).unwrap_or_default();
+    if !known_events(version).contains(&ev) {
+        return Err(ObsError::Schema(format!(
+            "unknown event kind '{ev}' (schema v{version} allowlist)"
+        )));
+    }
+    Ok(v)
+}
 
 /// Validates one JSONL line against the event schema: a JSON object with
 /// a string `ev`, a boolean `det`, a string `key` when `det` is true, and
@@ -993,6 +1156,88 @@ mod tests {
         assert!((histogram_quantile(&bounds, &counts, 0.5) - 4.0).abs() < 1e-12);
         // Empty histogram → NaN.
         assert!(histogram_quantile(&bounds, &[0, 0, 0, 0], 0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_quantile_exact_boundary_hand_computed() {
+        // Regression: q*total computed in f64 can land an ulp above an
+        // exact cumulative boundary. 30 observations, 3 of them in bucket
+        // (0,1]: p10's target rank is exactly 3, but 0.1*30 =
+        // 3.0000000000000004 — without snapping, the walk skips to the
+        // next non-empty bucket and reports ~2.0 instead of 1.0.
+        let bounds = [1.0, 2.0, 4.0];
+        let counts = [3u64, 0, 27, 0];
+        assert!((histogram_quantile(&bounds, &counts, 0.1) - 1.0).abs() < 1e-12);
+        // Same shape where the boundary rank falls on a *populated*
+        // bucket's top: 10 in bucket 0, 10 in bucket 1; p50 target is
+        // exactly 10 → frac 1.0 → upper edge of bucket 0.
+        let counts = [10u64, 10, 0, 0];
+        assert!((histogram_quantile(&bounds, &counts, 0.5) - 1.0).abs() < 1e-12);
+        // 0.3 * 10 = 2.9999999999999996 must snap *up* to rank 3, not
+        // report slightly below the interpolated point for rank 3.
+        let counts = [10u64, 0, 0, 0];
+        let q03 = histogram_quantile(&bounds, &counts, 0.3);
+        assert!((q03 - 0.3).abs() < 1e-12, "got {q03}");
+    }
+
+    #[test]
+    fn histogram_quantile_overflow_bucket_hand_computed() {
+        let bounds = [1.0, 2.0, 4.0];
+        // Half the mass beyond the last finite edge: any quantile landing
+        // in the overflow bucket saturates at that edge — including q=1.0.
+        let counts = [0u64, 5, 0, 5];
+        assert!((histogram_quantile(&bounds, &counts, 0.9) - 4.0).abs() < 1e-12);
+        assert!((histogram_quantile(&bounds, &counts, 1.0) - 4.0).abs() < 1e-12);
+        // q=0.5: rank 5 is exactly the top of bucket 1 → its upper edge.
+        assert!((histogram_quantile(&bounds, &counts, 0.5) - 2.0).abs() < 1e-12);
+        // Degenerate: single finite bucket plus overflow mass only.
+        assert!((histogram_quantile(&[3.0], &[0, 7], 0.99) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_events_versions_nest() {
+        let v1 = known_events(1);
+        let v2 = known_events(2);
+        assert!(v1.iter().all(|k| v2.contains(k)), "v2 must contain v1");
+        assert!(!v1.contains(&"trace"));
+        assert!(v2.contains(&"trace"));
+        // Out-of-range versions clamp instead of panicking.
+        assert_eq!(known_events(0), v1);
+        assert_eq!(known_events(99), known_events(SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn validate_line_versioned_checks_allowlist() {
+        let ok = "{\"ev\":\"trace\",\"det\":false}";
+        assert!(validate_line_versioned(ok, 2).is_ok());
+        assert!(validate_line_versioned(ok, 1).is_err(), "trace is v2-only");
+        let unknown = "{\"ev\":\"no_such_kind\",\"det\":false}";
+        assert!(validate_line(unknown).is_ok(), "shape check alone passes");
+        assert!(validate_line_versioned(unknown, SCHEMA_VERSION).is_err());
+    }
+
+    #[test]
+    fn metrics_snapshot_copies_registries() {
+        let rec = Recorder::in_memory();
+        rec.counter("a.hits").add(3);
+        rec.gauge("b.depth").set(2.5);
+        let h = rec.histogram("c.lat", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counters, vec![("a.hits".to_string(), 3)]);
+        assert_eq!(snap.gauges, vec![("b.depth".to_string(), 2.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        let (name, hs) = &snap.histograms[0];
+        assert_eq!(name, "c.lat");
+        assert_eq!(hs.bounds, vec![1.0, 2.0]);
+        assert_eq!(hs.counts, vec![1, 0, 1]);
+        assert_eq!(hs.count(), 2);
+        assert!((hs.sum - 5.5).abs() < 1e-12);
+        assert_eq!(
+            Recorder::disabled().metrics_snapshot(),
+            MetricsSnapshot::default()
+        );
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Request-scoped tracing: the `trace` event kind, stage-duration
+//! histograms, and the per-request timeline analysis behind `obs_trace`.
+//!
+//! ## Stage model
+//!
+//! A served request moves through four measured stages:
+//!
+//! ```text
+//! accept ──► enqueue ──► batch-collect ──► inference ──► write-done
+//!          queue_wait    batch_linger      inference       write
+//! ```
+//!
+//! Every trace event attributes one request (or one retry attempt of one
+//! request — siblings share a `trace_id` and differ in `attempt`) to an
+//! outcome and, when the request reached inference, to per-stage wall
+//! durations.
+//!
+//! ## Det/phys placement
+//!
+//! Trace events are **physical** ([`crate::Event::phys`], `det: false`)
+//! and all durations live in the `wall` sub-object, so the
+//! [`crate::det_projection`] byte-identity contract is untouched: a log
+//! with tracing enabled projects to exactly the same deterministic lines
+//! as one without.
+
+use crate::{quantile_sorted, Event, Histogram, Recorder};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// The event kind trace records are emitted under (schema v2).
+pub const TRACE_EVENT: &str = "trace";
+
+/// The measured stages, in pipeline order. Tie-breaks in dominance
+/// analysis follow this order, so results are deterministic.
+pub const STAGES: [&str; 4] = ["queue_wait", "batch_linger", "inference", "write"];
+
+/// Upper edges (µs) for the per-stage duration histograms: roughly
+/// logarithmic from 1 µs to 1 s, matching the serving latency histogram
+/// so stage and total quantiles are comparable.
+pub const STAGE_BOUNDS_US: [f64; 19] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6,
+];
+
+/// The four stage-duration histograms, registered under
+/// `serve.stage.<stage>_us`. One instance is shared by all connection
+/// threads (handles are cheap clones).
+#[derive(Debug, Clone)]
+pub struct StageHistograms {
+    /// Admission → batch-collect wait (µs).
+    pub queue_wait_us: Histogram,
+    /// Linger-window residence before the batch closed (µs).
+    pub batch_linger_us: Histogram,
+    /// Policy-forward time, including any configured slowdown (µs).
+    pub inference_us: Histogram,
+    /// Response serialization + socket write (µs).
+    pub write_us: Histogram,
+}
+
+impl StageHistograms {
+    /// Registers (or fetches) the four histograms on `recorder`.
+    pub fn register(recorder: &Recorder) -> Self {
+        StageHistograms {
+            queue_wait_us: recorder.histogram("serve.stage.queue_wait_us", &STAGE_BOUNDS_US),
+            batch_linger_us: recorder.histogram("serve.stage.batch_linger_us", &STAGE_BOUNDS_US),
+            inference_us: recorder.histogram("serve.stage.inference_us", &STAGE_BOUNDS_US),
+            write_us: recorder.histogram("serve.stage.write_us", &STAGE_BOUNDS_US),
+        }
+    }
+}
+
+/// One request-lifecycle record, ready to be lowered into a physical
+/// `trace` event. The server builds one per traced request.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Client-seeded trace id; retry attempts share it.
+    pub trace_id: String,
+    /// 0-based attempt number within the trace.
+    pub attempt: u64,
+    /// Operation (`decide`, `ping`, ...).
+    pub op: String,
+    /// `ok` or the wire error code that answered the request.
+    pub outcome: String,
+    /// For sheds: the stage the request died in (`admission` for
+    /// `overloaded`/`shutting_down`, `queue_wait` for
+    /// `deadline_exceeded`).
+    pub shed_stage: Option<String>,
+    /// Snapshot sequence that served the decision, when one did.
+    pub seq: Option<u64>,
+    /// Per-stage wall durations in µs, keyed by [`STAGES`] names.
+    pub stages_us: BTreeMap<String, f64>,
+    /// Accept → write-done wall duration in µs.
+    pub total_us: f64,
+}
+
+impl TraceRecord {
+    /// Lowers to a physical `trace` event: structural fields (ids,
+    /// outcome) as plain fields, every duration under `wall`.
+    pub fn into_event(self) -> Event {
+        let mut ev = Event::phys(TRACE_EVENT)
+            .s("trace_id", &self.trace_id)
+            .u("attempt", self.attempt)
+            .s("op", &self.op)
+            .s("outcome", &self.outcome);
+        if let Some(stage) = &self.shed_stage {
+            ev = ev.s("shed_stage", stage);
+        }
+        if let Some(seq) = self.seq {
+            ev = ev.u("seq", seq);
+        }
+        for (stage, us) in &self.stages_us {
+            ev = ev.wall_f(&format!("{stage}_us"), *us);
+        }
+        ev.wall_f("total_us", self.total_us)
+    }
+}
+
+/// A parsed trace event, as reconstructed from a JSONL log line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Trace id shared by sibling retry attempts.
+    pub trace_id: String,
+    /// 0-based attempt number.
+    pub attempt: u64,
+    /// Operation this span answered.
+    pub op: String,
+    /// `ok` or the wire error code.
+    pub outcome: String,
+    /// Shed stage for refused requests.
+    pub shed_stage: Option<String>,
+    /// Serving snapshot sequence, when a decision was served.
+    pub seq: Option<u64>,
+    /// Stage durations in µs (subset of [`STAGES`]).
+    pub stages_us: BTreeMap<String, f64>,
+    /// End-to-end duration in µs.
+    pub total_us: f64,
+}
+
+impl TraceSpan {
+    /// Parses a `trace` event value; `None` when the value is not a
+    /// well-formed trace event.
+    pub fn from_value(v: &Value) -> Option<TraceSpan> {
+        if v.get("ev").and_then(Value::as_str) != Some(TRACE_EVENT) {
+            return None;
+        }
+        let wall = v.get("wall");
+        let wall_f = |name: &str| wall.and_then(|w| w.get(name)).and_then(Value::as_f64);
+        let mut stages_us = BTreeMap::new();
+        for stage in STAGES {
+            if let Some(us) = wall_f(&format!("{stage}_us")) {
+                stages_us.insert(stage.to_string(), us);
+            }
+        }
+        Some(TraceSpan {
+            trace_id: v.get("trace_id").and_then(Value::as_str)?.to_string(),
+            attempt: v.get("attempt").and_then(Value::as_u64)?,
+            op: v.get("op").and_then(Value::as_str)?.to_string(),
+            outcome: v.get("outcome").and_then(Value::as_str)?.to_string(),
+            shed_stage: v
+                .get("shed_stage")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            seq: v.get("seq").and_then(Value::as_u64),
+            stages_us,
+            total_us: wall_f("total_us").unwrap_or(0.0),
+        })
+    }
+
+    /// The stage this span spent most of its life in: the largest stage
+    /// duration, ties broken by [`STAGES`] order; the shed stage for
+    /// refused requests; `None` when no stage was measured at all.
+    pub fn dominant_stage(&self) -> Option<&str> {
+        if let Some(shed) = &self.shed_stage {
+            return Some(shed.as_str());
+        }
+        let mut best: Option<(&str, f64)> = None;
+        for stage in STAGES {
+            let Some(&us) = self.stages_us.get(stage) else {
+                continue;
+            };
+            if best.is_none_or(|(_, b)| us > b) {
+                best = Some((stage, us));
+            }
+        }
+        best.map(|(s, _)| s)
+    }
+}
+
+/// Parses every `trace` event out of a JSONL log, in log order. Lines
+/// that are not valid JSON objects or not trace events are skipped — the
+/// schema validation path is `obs_report`'s job, not the analyzer's.
+pub fn collect_spans(text: &str) -> Vec<TraceSpan> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::parse_value(l).ok())
+        .filter_map(|v| TraceSpan::from_value(&v))
+        .collect()
+}
+
+/// One row of the stage-attribution table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRow {
+    /// Stage name (one of [`STAGES`], or `total`).
+    pub stage: String,
+    /// Spans that measured this stage.
+    pub count: u64,
+    /// Median duration, µs.
+    pub p50_us: f64,
+    /// 99th-percentile duration, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile duration, µs.
+    pub p999_us: f64,
+}
+
+/// Fleet-wide stage attribution over a set of trace spans: per-stage
+/// latency quantiles, the dominant-stage mode, and the traces whose
+/// dominant stage differs from it. Deterministic for a given span set
+/// (sorted grouping, fixed stage order, type-7 quantiles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAttribution {
+    /// Trace events analyzed.
+    pub spans: u64,
+    /// Distinct trace ids.
+    pub traces: u64,
+    /// Spans with outcome `ok`.
+    pub ok: u64,
+    /// Spans shed at admission (`overloaded` / `shutting_down`).
+    pub shed_admission: u64,
+    /// Spans shed by in-queue deadline expiry.
+    pub shed_queue: u64,
+    /// Per-stage quantile rows in [`STAGES`] order, then `total`.
+    pub stages: Vec<StageRow>,
+    /// The most common per-trace dominant stage (ties broken by
+    /// [`STAGES`] order), or empty when nothing was measured.
+    pub dominant_mode: String,
+    /// Trace ids whose dominant stage differs from `dominant_mode`,
+    /// sorted.
+    pub outlier_traces: Vec<String>,
+}
+
+/// Computes the fleet-wide [`TraceAttribution`] for a span set. A
+/// trace's dominant stage is taken from its highest-numbered attempt
+/// (the attempt that finally got an answer).
+pub fn attribution(spans: &[TraceSpan]) -> TraceAttribution {
+    let mut by_trace: BTreeMap<&str, &TraceSpan> = BTreeMap::new();
+    for span in spans {
+        by_trace
+            .entry(span.trace_id.as_str())
+            .and_modify(|cur| {
+                if span.attempt >= cur.attempt {
+                    *cur = span;
+                }
+            })
+            .or_insert(span);
+    }
+    let mut stage_rows = Vec::new();
+    for stage in STAGES {
+        let mut xs: Vec<f64> = spans
+            .iter()
+            .filter_map(|s| s.stages_us.get(stage).copied())
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        stage_rows.push(StageRow {
+            stage: stage.to_string(),
+            count: xs.len() as u64,
+            p50_us: quantile_sorted(&xs, 0.5),
+            p99_us: quantile_sorted(&xs, 0.99),
+            p999_us: quantile_sorted(&xs, 0.999),
+        });
+    }
+    let mut totals: Vec<f64> = spans
+        .iter()
+        .filter(|s| s.outcome == "ok")
+        .map(|s| s.total_us)
+        .collect();
+    totals.sort_by(f64::total_cmp);
+    stage_rows.push(StageRow {
+        stage: "total".to_string(),
+        count: totals.len() as u64,
+        p50_us: quantile_sorted(&totals, 0.5),
+        p99_us: quantile_sorted(&totals, 0.99),
+        p999_us: quantile_sorted(&totals, 0.999),
+    });
+    // Dominant-stage mode across traces; ties resolve to the earlier
+    // pipeline stage so the result never depends on map iteration order.
+    let mut votes: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut dominants: BTreeMap<&str, &str> = BTreeMap::new();
+    for (id, span) in &by_trace {
+        if let Some(stage) = span.dominant_stage() {
+            *votes.entry(stage).or_insert(0) += 1;
+            dominants.insert(id, stage);
+        }
+    }
+    let stage_rank = |s: &str| STAGES.iter().position(|&x| x == s).unwrap_or(STAGES.len());
+    let dominant_mode = votes
+        .iter()
+        .max_by(|(a, ca), (b, cb)| ca.cmp(cb).then_with(|| stage_rank(b).cmp(&stage_rank(a))))
+        .map(|(s, _)| s.to_string())
+        .unwrap_or_default();
+    let outlier_traces = dominants
+        .iter()
+        .filter(|(_, stage)| **stage != dominant_mode)
+        .map(|(id, _)| id.to_string())
+        .collect();
+    TraceAttribution {
+        spans: spans.len() as u64,
+        traces: by_trace.len() as u64,
+        ok: spans.iter().filter(|s| s.outcome == "ok").count() as u64,
+        shed_admission: spans
+            .iter()
+            .filter(|s| s.shed_stage.as_deref() == Some("admission"))
+            .count() as u64,
+        shed_queue: spans
+            .iter()
+            .filter(|s| s.shed_stage.as_deref() == Some("queue_wait") && s.outcome != "ok")
+            .count() as u64,
+        stages: stage_rows,
+        dominant_mode,
+        outlier_traces,
+    }
+}
+
+/// Renders the attribution as the fixed-width table `obs_trace` and
+/// `serve_bench --trace` print. Pure function of the attribution, so
+/// repeated runs over the same log produce byte-identical tables.
+pub fn render_attribution(attr: &TraceAttribution) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace spans {}  traces {}  ok {}  shed(admission) {}  shed(queue) {}\n",
+        attr.spans, attr.traces, attr.ok, attr.shed_admission, attr.shed_queue
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12}\n",
+        "stage", "count", "p50_us", "p99_us", "p999_us"
+    ));
+    let fmt_q = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.1}")
+        }
+    };
+    for row in &attr.stages {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>12} {:>12} {:>12}\n",
+            row.stage,
+            row.count,
+            fmt_q(row.p50_us),
+            fmt_q(row.p99_us),
+            fmt_q(row.p999_us)
+        ));
+    }
+    if !attr.dominant_mode.is_empty() {
+        out.push_str(&format!(
+            "dominant stage (fleet mode): {}\n",
+            attr.dominant_mode
+        ));
+    }
+    if !attr.outlier_traces.is_empty() {
+        out.push_str(&format!(
+            "outlier traces ({} dominated by a different stage): {}\n",
+            attr.outlier_traces.len(),
+            attr.outlier_traces.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det_projection;
+
+    fn span(id: &str, attempt: u64, outcome: &str, stages: &[(&str, f64)]) -> TraceSpan {
+        TraceSpan {
+            trace_id: id.to_string(),
+            attempt,
+            op: "decide".to_string(),
+            outcome: outcome.to_string(),
+            shed_stage: match outcome {
+                "overloaded" | "shutting_down" => Some("admission".to_string()),
+                "deadline_exceeded" => Some("queue_wait".to_string()),
+                _ => None,
+            },
+            seq: (outcome == "ok").then_some(1),
+            stages_us: stages.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            total_us: stages.iter().map(|(_, v)| v).sum(),
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_event_and_parse() {
+        let record = TraceRecord {
+            trace_id: "00c0ffee00c0ffee".to_string(),
+            attempt: 2,
+            op: "decide".to_string(),
+            outcome: "ok".to_string(),
+            shed_stage: None,
+            seq: Some(7),
+            stages_us: [("queue_wait", 12.5), ("inference", 800.0), ("write", 3.0)]
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            total_us: 820.5,
+        };
+        let rec = Recorder::in_memory();
+        rec.emit(record.clone().into_event());
+        let text = rec.events_text();
+        let spans = collect_spans(&text);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.trace_id, "00c0ffee00c0ffee");
+        assert_eq!(s.attempt, 2);
+        assert_eq!(s.outcome, "ok");
+        assert_eq!(s.seq, Some(7));
+        assert_eq!(s.stages_us["inference"], 800.0);
+        assert!(!s.stages_us.contains_key("batch_linger"));
+        assert_eq!(s.total_us, 820.5);
+        assert_eq!(s.dominant_stage(), Some("inference"));
+        // Trace events are physical: the det projection ignores them.
+        assert!(det_projection(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shed_spans_attribute_to_their_shed_stage() {
+        let s = span("t1", 0, "overloaded", &[]);
+        assert_eq!(s.dominant_stage(), Some("admission"));
+        let s = span("t1", 1, "deadline_exceeded", &[("queue_wait", 900.0)]);
+        assert_eq!(s.dominant_stage(), Some("queue_wait"));
+    }
+
+    #[test]
+    fn dominance_ties_break_in_pipeline_order() {
+        let s = span("t", 0, "ok", &[("inference", 5.0), ("queue_wait", 5.0)]);
+        assert_eq!(s.dominant_stage(), Some("queue_wait"));
+    }
+
+    #[test]
+    fn attribution_hand_computed() {
+        let spans = vec![
+            span(
+                "a",
+                0,
+                "ok",
+                &[("queue_wait", 1.0), ("inference", 10.0), ("write", 2.0)],
+            ),
+            span(
+                "b",
+                0,
+                "ok",
+                &[("queue_wait", 2.0), ("inference", 20.0), ("write", 2.0)],
+            ),
+            span(
+                "c",
+                0,
+                "ok",
+                &[("queue_wait", 50.0), ("inference", 4.0), ("write", 2.0)],
+            ),
+            span("d", 0, "overloaded", &[]),
+            span(
+                "d",
+                1,
+                "ok",
+                &[("queue_wait", 3.0), ("inference", 30.0), ("write", 2.0)],
+            ),
+        ];
+        let attr = attribution(&spans);
+        assert_eq!(attr.spans, 5);
+        assert_eq!(attr.traces, 4);
+        assert_eq!(attr.ok, 4);
+        assert_eq!(attr.shed_admission, 1);
+        assert_eq!(attr.shed_queue, 0);
+        // Dominant per trace: a,b,d → inference (d from its attempt 1);
+        // c → queue_wait. Mode = inference, outlier = c.
+        assert_eq!(attr.dominant_mode, "inference");
+        assert_eq!(attr.outlier_traces, vec!["c".to_string()]);
+        let inference = attr.stages.iter().find(|r| r.stage == "inference").unwrap();
+        assert_eq!(inference.count, 4);
+        // Sorted inference durations [4,10,20,30]: p50 = 15 (type-7).
+        assert!((inference.p50_us - 15.0).abs() < 1e-9);
+        let total = attr.stages.iter().find(|r| r.stage == "total").unwrap();
+        assert_eq!(total.count, 4, "only ok spans contribute totals");
+    }
+
+    #[test]
+    fn attribution_and_table_are_deterministic() {
+        let spans = vec![
+            span("x", 0, "ok", &[("inference", 9.0), ("write", 1.0)]),
+            span("y", 0, "deadline_exceeded", &[("queue_wait", 500.0)]),
+        ];
+        let a = attribution(&spans);
+        let b = attribution(&spans);
+        // NaN quantiles (empty stages) defeat struct equality; the
+        // rendered table is the determinism contract anyway.
+        assert_eq!(render_attribution(&a), render_attribution(&b));
+        assert_eq!(a.dominant_mode, b.dominant_mode);
+        assert_eq!(a.outlier_traces, b.outlier_traces);
+        let table = render_attribution(&a);
+        assert!(table.contains("shed(queue) 1"), "{table}");
+        assert!(table.contains("dominant stage"), "{table}");
+    }
+
+    #[test]
+    fn stage_histograms_register_under_expected_names() {
+        let rec = Recorder::in_memory();
+        let h = StageHistograms::register(&rec);
+        h.queue_wait_us.observe(3.0);
+        h.write_us.observe(1.0);
+        let snap = rec.metrics_snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "serve.stage.batch_linger_us",
+                "serve.stage.inference_us",
+                "serve.stage.queue_wait_us",
+                "serve.stage.write_us"
+            ]
+        );
+    }
+}

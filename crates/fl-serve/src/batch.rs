@@ -54,9 +54,30 @@ pub(crate) enum BatchError {
     Internal(String),
 }
 
+/// Batch-level timestamps the inference thread stamps for every drain, so
+/// connection threads can decompose a request's latency into pipeline
+/// stages without a second clock read per entry:
+///
+/// * `queue_wait`  = `window_open - enqueued` (per entry),
+/// * `batch_linger` = `collected - max(enqueued, window_open)`,
+/// * `inference`   = `infer_end - infer_start`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchTiming {
+    /// When the batching window opened (first entry seen by `collect`).
+    pub window_open: Instant,
+    /// When the drain completed (linger window closed).
+    pub collected: Instant,
+    /// Policy forward start. Stamped before any configured inference
+    /// slowdown so fault injection shows up as inference time.
+    pub infer_start: Instant,
+    /// Policy forward end.
+    pub infer_end: Instant,
+}
+
 /// What the inference thread sends back per request: the serving snapshot
-/// sequence and the frequency vector, or a structured failure.
-pub(crate) type DecisionResult = Result<(u64, Vec<f64>), BatchError>;
+/// sequence, the frequency vector, and the batch's stage timestamps — or
+/// a structured failure.
+pub(crate) type DecisionResult = Result<(u64, Vec<f64>, BatchTiming), BatchError>;
 
 /// One queued decision request.
 pub(crate) struct Pending {
@@ -79,6 +100,10 @@ pub(crate) struct Drained {
     /// Expired entries shed during this drain. They do not count against
     /// `max_batch` — shedding frees batch slots rather than eating them.
     pub expired: Vec<Pending>,
+    /// When `collect` first saw a non-empty queue (batch window opened).
+    pub window_open: Instant,
+    /// When the drain completed (after the linger window).
+    pub collected: Instant,
 }
 
 /// Bounded FIFO of pending decisions, shared by all connection threads and
@@ -144,9 +169,12 @@ impl BatchQueue {
         let mut q = self.lock();
         while q.is_empty() {
             if shutdown.load(Ordering::Acquire) {
+                let now = Instant::now();
                 return Drained {
                     live: Vec::new(),
                     expired: Vec::new(),
+                    window_open: now,
+                    collected: now,
                 };
             }
             let (guard, _) = self
@@ -155,8 +183,9 @@ impl BatchQueue {
                 .unwrap_or_else(PoisonError::into_inner);
             q = guard;
         }
+        let window_open = Instant::now();
         if !linger.is_zero() && q.len() < max_batch && !shutdown.load(Ordering::Acquire) {
-            let deadline = Instant::now() + linger;
+            let deadline = window_open + linger;
             loop {
                 let now = Instant::now();
                 if now >= deadline || q.len() >= max_batch || shutdown.load(Ordering::Acquire) {
@@ -185,7 +214,12 @@ impl BatchQueue {
             }
         }
         self.depth_gauge.set(q.len() as f64);
-        Drained { live, expired }
+        Drained {
+            live,
+            expired,
+            window_open,
+            collected: now,
+        }
     }
 
     /// Wakes the inference thread (shutdown path).

@@ -15,8 +15,8 @@
 //! chaos tests can pin it exactly.
 
 use crate::protocol::{
-    decode_json, encode_json, read_frame, write_frame, FrameRead, ServeStats, WireRequest,
-    WireResponse,
+    decode_json, encode_json, read_frame, write_frame, FrameRead, ServeStats, TraceContext,
+    WireRequest, WireResponse,
 };
 use crate::ServeError;
 use rand::{Rng, SeedableRng};
@@ -90,11 +90,13 @@ impl ServeClient {
             Ok(response)
         } else {
             let retry_after_ms = response.retry_after_ms;
+            let stage = response.stage.clone();
             let (code, msg) = response.error_parts();
             Err(ServeError::Server {
                 code,
                 msg,
                 retry_after_ms,
+                stage,
             })
         }
     }
@@ -144,6 +146,14 @@ impl ServeClient {
             .ok_or_else(|| ServeError::Protocol("stats response missing stats".to_string()))
     }
 
+    /// Fetches the server's live Prometheus-style exposition text.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let response = Self::expect_ok(self.request(&WireRequest::metrics())?)?;
+        response
+            .metrics
+            .ok_or_else(|| ServeError::Protocol("metrics response missing text".to_string()))
+    }
+
     /// Asks the server to adopt the newest store snapshot. Returns
     /// `(swapped, now-serving seq)`.
     pub fn reload(&mut self) -> Result<(bool, u64), ServeError> {
@@ -155,6 +165,20 @@ impl ServeClient {
             )),
         }
     }
+}
+
+/// Derives a trace id from a retry seed and a per-client request index:
+/// a splitmix64-style mix rendered as 16 hex digits. A pure function, so
+/// a client replayed with the same seed issues the same trace ids — and
+/// the ids carry no wall-clock or host state.
+pub fn trace_id(seed: u64, index: u64) -> String {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    format!("{z:016x}")
 }
 
 /// Retry discipline for [`ResilientClient`]: bounded attempts, seeded
@@ -301,6 +325,12 @@ pub struct ResilientClient {
     retries_total: u64,
     reconnects_total: u64,
     giveups_total: u64,
+    /// When true, every `decide`/`ping` carries a trace context: id from
+    /// `trace_id(policy.seed, request index)`, attempt from the retry
+    /// loop — so retries appear as sibling spans under one trace.
+    tracing: bool,
+    /// Requests issued so far (indexes the trace-id stream).
+    requests_issued: u64,
 }
 
 impl ResilientClient {
@@ -320,12 +350,27 @@ impl ResilientClient {
             retries_total: 0,
             reconnects_total: 0,
             giveups_total: 0,
+            tracing: false,
+            requests_issued: 0,
         })
     }
 
     /// The policy this client retries under.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
+    }
+
+    /// Turns wire-propagated tracing on or off (off by default). With
+    /// tracing on, each operation draws the next id from the
+    /// deterministic `trace_id(policy.seed, index)` stream and stamps
+    /// every attempt with its 0-based attempt number.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Requests issued so far (traced or not).
+    pub fn requests_issued(&self) -> u64 {
+        self.requests_issued
     }
 
     /// Retries slept through so far (across all operations).
@@ -356,13 +401,13 @@ impl ResilientClient {
 
     fn with_retries<T>(
         &mut self,
-        mut op: impl FnMut(&mut ServeClient) -> Result<T, ServeError>,
+        mut op: impl FnMut(&mut ServeClient, u32) -> Result<T, ServeError>,
     ) -> Result<T, ServeError> {
         let start = Instant::now();
         let mut attempt: u32 = 0;
         loop {
             let result = match self.ensure_conn() {
-                Ok(conn) => op(conn),
+                Ok(conn) => op(conn, attempt),
                 Err(e) => Err(e),
             };
             let err = match result {
@@ -396,10 +441,28 @@ impl ResilientClient {
         }
     }
 
+    /// Draws the next trace id (advancing the request index), or `None`
+    /// with tracing off. The index advances either way, so toggling
+    /// tracing never shifts the id stream of later requests.
+    fn next_trace_id(&mut self) -> Option<String> {
+        let index = self.requests_issued;
+        self.requests_issued += 1;
+        self.tracing.then(|| trace_id(self.policy.seed, index))
+    }
+
+    /// Stamps `request` with this trace/attempt pair, when tracing is on.
+    fn stamp(request: &WireRequest, tid: &Option<String>, attempt: u32) -> WireRequest {
+        match tid {
+            Some(id) => request
+                .clone()
+                .with_trace(TraceContext::new(id.as_str(), u64::from(attempt)).to_value()),
+            None => request.clone(),
+        }
+    }
+
     /// One decision with retries: observation in, `(seq, freqs)` out.
     pub fn decide(&mut self, obs: &[f64]) -> Result<(u64, Vec<f64>), ServeError> {
-        let request = WireRequest::decide(obs.to_vec());
-        self.with_retries(|c| c.decide_request(&request))
+        self.decide_request(&WireRequest::decide(obs.to_vec()))
     }
 
     /// One decision pinned to a config digest, with retries.
@@ -408,24 +471,35 @@ impl ResilientClient {
         obs: &[f64],
         digest: u32,
     ) -> Result<(u64, Vec<f64>), ServeError> {
-        let request = WireRequest::decide_pinned(obs.to_vec(), digest);
-        self.with_retries(|c| c.decide_request(&request))
+        self.decide_request(&WireRequest::decide_pinned(obs.to_vec(), digest))
     }
 
     /// An arbitrary `decide`-shaped request (deadline-carrying, pinned,
     /// ...) with retries.
     pub fn decide_request(&mut self, request: &WireRequest) -> Result<(u64, Vec<f64>), ServeError> {
-        self.with_retries(|c| c.decide_request(request))
+        let tid = self.next_trace_id();
+        self.with_retries(|c, attempt| c.decide_request(&Self::stamp(request, &tid, attempt)))
     }
 
     /// Liveness probe with retries.
     pub fn ping(&mut self) -> Result<(u64, u32), ServeError> {
-        self.with_retries(|c| c.ping())
+        let tid = self.next_trace_id();
+        let request = WireRequest::ping();
+        self.with_retries(|c, attempt| {
+            let response =
+                ServeClient::expect_ok(c.request(&Self::stamp(&request, &tid, attempt))?)?;
+            match (response.seq, response.digest) {
+                (Some(seq), Some(digest)) => Ok((seq, digest)),
+                _ => Err(ServeError::Protocol(
+                    "ping response missing seq or digest".to_string(),
+                )),
+            }
+        })
     }
 
     /// Server metrics snapshot with retries.
     pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
-        self.with_retries(|c| c.stats())
+        self.with_retries(|c, _| c.stats())
     }
 }
 
@@ -491,5 +565,18 @@ mod tests {
     #[test]
     fn planned_delays_unbudgeted_covers_every_retry() {
         assert_eq!(policy(1).planned_delays().len(), 6);
+    }
+
+    #[test]
+    fn trace_ids_are_pure_distinct_and_wire_legal() {
+        assert_eq!(trace_id(7, 0), trace_id(7, 0));
+        assert_ne!(trace_id(7, 0), trace_id(7, 1));
+        assert_ne!(trace_id(7, 0), trace_id(8, 0));
+        let id = trace_id(0xF15EED, 3);
+        assert_eq!(id.len(), 16);
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        // Every id passes the server-side validation gate.
+        let ctx = TraceContext::new(id, 0);
+        assert!(TraceContext::parse(&ctx.to_value()).is_ok());
     }
 }

@@ -34,6 +34,9 @@ pub enum ServeError {
         msg: String,
         /// Backoff hint from `overloaded` responses, milliseconds.
         retry_after_ms: Option<u64>,
+        /// Pipeline stage the server attributed a shed to (`admission`,
+        /// `queue_wait`), when it sent one.
+        stage: Option<String>,
     },
 }
 
@@ -107,7 +110,12 @@ impl fmt::Display for ServeError {
             ServeError::ConnectionClosed => write!(f, "peer closed the connection"),
             ServeError::TimedOut => write!(f, "timed out waiting for a response"),
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
-            ServeError::Server { code, msg, .. } => write!(f, "server error [{code}]: {msg}"),
+            ServeError::Server {
+                code, msg, stage, ..
+            } => match stage {
+                Some(stage) => write!(f, "server error [{code} @ {stage}]: {msg}"),
+                None => write!(f, "server error [{code}]: {msg}"),
+            },
         }
     }
 }

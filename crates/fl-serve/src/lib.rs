@@ -31,6 +31,12 @@
 //! * **Chaos harness** — [`chaos::ChaosProxy`] replays seeded network
 //!   chaos (latency, resets, torn writes, corruption) deterministically,
 //!   driving the soak suite in `tests/serve_chaos.rs`.
+//! * **Tracing & exposition** — requests may carry a client-seeded
+//!   [`TraceContext`]; the server decomposes every traced request into
+//!   pipeline stages (queue wait, batch linger, inference, write) and
+//!   emits physical `trace` events, while a `metrics` op and an optional
+//!   `--metrics-port` listener serve Prometheus-style exposition
+//!   rendered by `fl_obs::expose` (`tests/serve_trace.rs`).
 //!
 //! ## In-process quickstart
 //!
@@ -62,7 +68,10 @@ pub mod protocol;
 pub mod server;
 
 pub use chaos::{ChaosModel, ChaosPlan, ChaosProxy};
-pub use client::{ResilientClient, RetryPolicy, ServeClient};
+pub use client::{trace_id, ResilientClient, RetryPolicy, ServeClient};
 pub use error::ServeError;
-pub use protocol::{ErrorCounters, LatencySummary, ServeStats, WireRequest, WireResponse};
+pub use protocol::{
+    ErrorCounters, LatencySummary, ServeStats, StageSummary, TraceContext, WireRequest,
+    WireResponse,
+};
 pub use server::{DecisionServer, ServeOptions};

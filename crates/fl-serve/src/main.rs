@@ -6,13 +6,16 @@
 //! fl-serve --ckpt CKPT_DIR [--addr 127.0.0.1:7878] [--obs DIR]
 //!          [--max-batch N] [--linger-us N] [--poll-ms N]
 //!          [--max-queue N] [--deadline-ms N] [--write-timeout-ms N]
+//!          [--metrics-port N]
 //! ```
 //!
 //! `--poll-ms N` enables automatic hot-reload: the server checks the
 //! store every `N` ms and adopts newer snapshots (a training run saving
 //! into the same directory upgrades the server live). Without it, reloads
 //! happen only on explicit `reload` requests. `--obs DIR` writes the
-//! fl-obs event/metric stream to `DIR/serve.jsonl`.
+//! fl-obs event/metric stream to `DIR/serve.jsonl`. `--metrics-port N`
+//! opens a plain-text scrape listener on `127.0.0.1:N` (0 = ephemeral)
+//! serving Prometheus-style exposition to any HTTP or raw-TCP client.
 //!
 //! Overload knobs: `--max-queue N` bounds the admission queue (beyond it
 //! decides are shed with `overloaded` + a retry hint), `--deadline-ms N`
@@ -43,6 +46,7 @@ fn main() {
             "--max-queue",
             "--deadline-ms",
             "--write-timeout-ms",
+            "--metrics-port",
         ],
         &[],
     );
@@ -50,7 +54,8 @@ fn main() {
         eprintln!(
             "usage: fl-serve --ckpt CKPT_DIR [--addr HOST:PORT] [--obs DIR] \
              [--max-batch N] [--linger-us N] [--poll-ms N] \
-             [--max-queue N] [--deadline-ms N] [--write-timeout-ms N]"
+             [--max-queue N] [--deadline-ms N] [--write-timeout-ms N] \
+             [--metrics-port N]"
         );
         std::process::exit(2);
     });
@@ -74,6 +79,9 @@ fn main() {
     }
     if let Some(ms) = cli.parsed::<u64>("--write-timeout-ms") {
         opts.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(port) = cli.parsed::<u16>("--metrics-port") {
+        opts.metrics_addr = Some(format!("127.0.0.1:{port}"));
     }
     if let Some(dir) = cli.path("--obs") {
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -104,6 +112,9 @@ fn main() {
         server.obs_dim(),
         server.action_dim(),
     );
+    if let Some(addr) = server.metrics_addr() {
+        println!("fl-serve metrics scrape on http://{addr}/metrics");
+    }
     // Serve until the process is killed.
     loop {
         std::thread::park();

@@ -24,7 +24,7 @@
 //! answers a parseable frame with silence or a dropped socket.
 
 use crate::ServeError;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::io::{Read, Write};
 
 /// Frame magic: protocol name + version.
@@ -77,16 +77,101 @@ pub mod codes {
     pub const INTERNAL: &str = "internal";
 }
 
+/// Longest accepted trace id (characters).
+pub const TRACE_ID_MAX_LEN: usize = 64;
+
+/// Largest accepted attempt number. Far above any sane retry policy;
+/// bounds the field so a hostile client cannot smuggle garbage counters
+/// into the trace log.
+pub const TRACE_ATTEMPT_MAX: u64 = 1_000_000;
+
+/// Client-propagated trace context: a trace id shared by every retry
+/// attempt of one logical request, plus the 0-based attempt number.
+///
+/// The id is client-seeded (see `ResilientClient`), deterministic from
+/// the retry policy's seed and the per-client request index, so chaos
+/// tests can pin exact ids. On the wire it rides the `trace` field of a
+/// request as `{"id": "...", "attempt": n}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id: 1..=[`TRACE_ID_MAX_LEN`] chars of `[A-Za-z0-9._:-]`.
+    pub id: String,
+    /// 0-based attempt number within the trace.
+    pub attempt: u64,
+}
+
+impl TraceContext {
+    /// Builds a context (no validation — the wire parse is the gate).
+    pub fn new(id: impl Into<String>, attempt: u64) -> Self {
+        TraceContext {
+            id: id.into(),
+            attempt,
+        }
+    }
+
+    /// Parses and validates the wire `trace` field. Lenient about
+    /// unknown keys (forward compatibility), strict about the two it
+    /// reads: `id` must be a 1..=[`TRACE_ID_MAX_LEN`]-char string of
+    /// `[A-Za-z0-9._:-]`, `attempt` (optional, default 0) a non-negative
+    /// integer at most [`TRACE_ATTEMPT_MAX`]. Every violation is an
+    /// `Err` message the server answers as `bad_request` — never a
+    /// panic, never a dropped connection.
+    pub fn parse(v: &Value) -> Result<TraceContext, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "trace field must be an object".to_string())?;
+        let id = obj
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "trace.id must be a string".to_string())?;
+        if id.is_empty() || id.len() > TRACE_ID_MAX_LEN {
+            return Err(format!(
+                "trace.id length {} outside 1..={TRACE_ID_MAX_LEN}",
+                id.len()
+            ));
+        }
+        if !id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | ':' | '-'))
+        {
+            return Err("trace.id has characters outside [A-Za-z0-9._:-]".to_string());
+        }
+        let attempt = match obj.get("attempt") {
+            None => 0,
+            Some(a) => a
+                .as_u64()
+                .filter(|&n| n <= TRACE_ATTEMPT_MAX)
+                .ok_or_else(|| {
+                    format!("trace.attempt must be an integer in 0..={TRACE_ATTEMPT_MAX}")
+                })?,
+        };
+        Ok(TraceContext {
+            id: id.to_string(),
+            attempt,
+        })
+    }
+
+    /// Lowers to the wire `trace` field value.
+    pub fn to_value(&self) -> Value {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("id".to_string(), Value::String(self.id.clone()));
+        obj.insert("attempt".to_string(), Value::Number(self.attempt as f64));
+        Value::Object(obj)
+    }
+}
+
 /// A client request. `kind` selects the operation:
 ///
 /// * `"decide"` — `obs` required; `digest` optionally pins the expected
 ///   config fingerprint,
 /// * `"ping"` — liveness probe; echoes the served seq and digest,
 /// * `"stats"` — serving metrics snapshot,
+/// * `"metrics"` — Prometheus-style text exposition of every counter,
+///   gauge, and histogram,
 /// * `"reload"` — ask the server to adopt the newest store snapshot now.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WireRequest {
-    /// Operation: `decide`, `ping`, `stats`, or `reload`.
+    /// Operation: `decide`, `ping`, `stats`, `metrics`, or `reload`.
     pub kind: String,
     /// Observation row for `decide` (length must equal the controller's
     /// observation dimension).
@@ -101,6 +186,13 @@ pub struct WireRequest {
     /// inference. `None` defers to the server's `--deadline-ms` default
     /// (unbounded when that is unset too).
     pub deadline_ms: Option<u64>,
+    /// Optional trace context (`decide`/`ping`). Carried raw and
+    /// validated server-side by [`TraceContext::parse`], so a malformed
+    /// value is a structured `bad_request` — not a whole-frame
+    /// `bad_json` — and the connection stays usable. A valid context
+    /// makes the server emit a physical `trace` lifecycle event for this
+    /// request.
+    pub trace: Option<Value>,
 }
 
 impl WireRequest {
@@ -111,6 +203,7 @@ impl WireRequest {
             obs: Some(obs),
             digest: None,
             deadline_ms: None,
+            trace: None,
         }
     }
 
@@ -121,6 +214,7 @@ impl WireRequest {
             obs: Some(obs),
             digest: Some(digest),
             deadline_ms: None,
+            trace: None,
         }
     }
 
@@ -131,6 +225,7 @@ impl WireRequest {
             obs: None,
             digest: None,
             deadline_ms: None,
+            trace: None,
         }
     }
 
@@ -141,6 +236,7 @@ impl WireRequest {
             obs: None,
             digest: None,
             deadline_ms: None,
+            trace: None,
         }
     }
 
@@ -151,12 +247,30 @@ impl WireRequest {
             obs: None,
             digest: None,
             deadline_ms: None,
+            trace: None,
+        }
+    }
+
+    /// A live-metrics exposition request (Prometheus text format).
+    pub fn metrics() -> Self {
+        WireRequest {
+            kind: "metrics".to_string(),
+            obs: None,
+            digest: None,
+            deadline_ms: None,
+            trace: None,
         }
     }
 
     /// Attaches a deadline budget (milliseconds from server admission).
     pub fn with_deadline(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Attaches a trace context (see [`TraceContext::to_value`]).
+    pub fn with_trace(mut self, trace: Value) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -188,6 +302,13 @@ pub struct WireResponse {
     /// estimate of when queue capacity will free up. Advisory — clients
     /// may retry sooner, the server simply sheds them again.
     pub retry_after_ms: Option<u64>,
+    /// Prometheus-style exposition text (`metrics` responses).
+    pub metrics: Option<String>,
+    /// Pipeline stage that a shed is attributed to (`ok = false` only):
+    /// `admission` for `overloaded`/`shutting_down`, `queue_wait` for
+    /// `deadline_exceeded`. Absent on validation errors, which never
+    /// entered the pipeline.
+    pub stage: Option<String>,
 }
 
 impl WireResponse {
@@ -203,6 +324,8 @@ impl WireResponse {
             code: None,
             msg: None,
             retry_after_ms: None,
+            metrics: None,
+            stage: None,
         }
     }
 
@@ -250,6 +373,8 @@ impl WireResponse {
             code: Some(code.to_string()),
             msg: Some(msg.into()),
             retry_after_ms: None,
+            metrics: None,
+            stage: None,
         }
     }
 
@@ -258,6 +383,19 @@ impl WireResponse {
         let mut r = Self::error(code, msg);
         r.retry_after_ms = Some(retry_after_ms);
         r
+    }
+
+    /// A successful `metrics` response carrying exposition text.
+    pub fn metrics_text(text: String) -> Self {
+        let mut r = Self::empty("metrics");
+        r.metrics = Some(text);
+        r
+    }
+
+    /// Attributes an error response to a pipeline stage.
+    pub fn with_stage(mut self, stage: &str) -> Self {
+        self.stage = Some(stage.to_string());
+        self
     }
 
     /// Unwraps an error response into its `(code, msg)` pair, with
@@ -303,6 +441,30 @@ pub struct ServeStats {
     pub errors: ErrorCounters,
     /// Request-latency summary (read-to-write, microseconds).
     pub latency_us: LatencySummary,
+    /// Per-stage latency decomposition plus shed-stage counters. `None`
+    /// from servers predating the tracing contract.
+    pub stages: Option<StageSummary>,
+}
+
+/// Per-stage latency summaries for the decide pipeline, plus counters
+/// attributing every shed to the stage it died in. Stage names follow
+/// [`fl_obs::trace::STAGES`]: `queue_wait` (enqueue → batch window
+/// opens), `batch_linger` (window open → batch collected), `inference`
+/// (policy forward), `write` (response serialization + socket write).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Enqueue → batch-collect window open, microseconds.
+    pub queue_wait_us: LatencySummary,
+    /// Batch window open → batch collected, microseconds.
+    pub batch_linger_us: LatencySummary,
+    /// Policy forward duration, microseconds.
+    pub inference_us: LatencySummary,
+    /// Response write duration, microseconds.
+    pub write_us: LatencySummary,
+    /// Sheds at admission: `overloaded` + `shutting_down`.
+    pub shed_admission: u64,
+    /// Sheds in queue: `deadline_exceeded`.
+    pub shed_queue: u64,
 }
 
 /// Per-code counts of structured errors answered on the wire.
@@ -655,5 +817,78 @@ mod tests {
         let (code, msg) = back.error_parts();
         assert_eq!(code, "dim_mismatch");
         assert_eq!(msg, "want 15, got 3");
+    }
+
+    #[test]
+    fn trace_context_roundtrips_on_the_wire() {
+        let ctx = TraceContext::new("abc123.def:9-_", 3);
+        let req = WireRequest::ping().with_trace(ctx.to_value());
+        let back: WireRequest = decode_json(&encode_json(&req).unwrap()).unwrap();
+        let parsed = TraceContext::parse(back.trace.as_ref().unwrap()).unwrap();
+        assert_eq!(parsed, ctx);
+
+        // Requests without a trace stay trace-free after the roundtrip.
+        let plain: WireRequest = decode_json(&encode_json(&WireRequest::ping()).unwrap()).unwrap();
+        assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn trace_context_parse_accepts_and_defaults() {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("id".to_string(), Value::String("t1".to_string()));
+        let ctx = TraceContext::parse(&Value::Object(obj.clone())).unwrap();
+        assert_eq!(ctx.id, "t1");
+        assert_eq!(ctx.attempt, 0, "attempt defaults to 0");
+
+        obj.insert("attempt".to_string(), Value::Number(7.0));
+        obj.insert("future_field".to_string(), Value::Bool(true));
+        let ctx = TraceContext::parse(&Value::Object(obj)).unwrap();
+        assert_eq!(ctx.attempt, 7, "unknown keys are ignored");
+    }
+
+    #[test]
+    fn trace_context_parse_rejects_malformed() {
+        let cases: Vec<Value> = vec![
+            // Not an object.
+            Value::String("trace-1".to_string()),
+            Value::Array(vec![]),
+            // Missing id.
+            Value::Object(std::collections::BTreeMap::new()),
+        ];
+        for v in &cases {
+            assert!(TraceContext::parse(v).is_err(), "should reject {v:?}");
+        }
+
+        let mk = |id: Value, attempt: Option<Value>| {
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert("id".to_string(), id);
+            if let Some(a) = attempt {
+                obj.insert("attempt".to_string(), a);
+            }
+            Value::Object(obj)
+        };
+        // Wrong-typed, empty, oversized, or bad-charset id.
+        assert!(TraceContext::parse(&mk(Value::Number(1.0), None)).is_err());
+        assert!(TraceContext::parse(&mk(Value::String(String::new()), None)).is_err());
+        let oversized = "x".repeat(TRACE_ID_MAX_LEN + 1);
+        assert!(TraceContext::parse(&mk(Value::String(oversized), None)).is_err());
+        let max_len = "x".repeat(TRACE_ID_MAX_LEN);
+        assert!(TraceContext::parse(&mk(Value::String(max_len), None)).is_ok());
+        assert!(TraceContext::parse(&mk(Value::String("has space".into()), None)).is_err());
+        assert!(TraceContext::parse(&mk(Value::String("émoji".into()), None)).is_err());
+        // Bad attempt: wrong type, negative, fractional, out of range.
+        let id = || Value::String("ok".to_string());
+        assert!(TraceContext::parse(&mk(id(), Some(Value::String("3".into())))).is_err());
+        assert!(TraceContext::parse(&mk(id(), Some(Value::Number(-1.0)))).is_err());
+        assert!(TraceContext::parse(&mk(id(), Some(Value::Number(1.5)))).is_err());
+        let over = (TRACE_ATTEMPT_MAX + 1) as f64;
+        assert!(TraceContext::parse(&mk(id(), Some(Value::Number(over)))).is_err());
+        let at_max = TRACE_ATTEMPT_MAX as f64;
+        assert_eq!(
+            TraceContext::parse(&mk(id(), Some(Value::Number(at_max))))
+                .unwrap()
+                .attempt,
+            TRACE_ATTEMPT_MAX
+        );
     }
 }

@@ -35,16 +35,19 @@
 //! new decides get `shutting_down`, queued work is finished and answered —
 //! then joins every thread.
 
-use crate::batch::{BatchError, BatchQueue, Drained, Loaded, Pending};
+use crate::batch::{BatchError, BatchQueue, BatchTiming, Drained, Loaded, Pending};
 use crate::protocol::{
     codes, decode_json, encode_json, read_frame, write_frame, ErrorCounters, FrameError, FrameRead,
-    LatencySummary, ServeStats, WireRequest, WireResponse,
+    LatencySummary, ServeStats, StageSummary, TraceContext, WireRequest, WireResponse,
 };
 use crate::ServeError;
 use fl_ctrl::ControllerSnapshot;
+use fl_obs::trace::{StageHistograms, TraceRecord};
 use fl_obs::{Counter, Event, Gauge, Histogram, Recorder};
 use fl_rl::snapshot::CheckpointStore;
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -93,6 +96,12 @@ pub struct ServeOptions {
     /// adopts newer snapshots automatically (in addition to explicit
     /// `reload` requests).
     pub reload_poll: Option<Duration>,
+    /// When set, a plain-text metrics listener binds this address (use
+    /// port 0 for ephemeral) and answers every connection with one
+    /// Prometheus-style exposition snapshot ([`fl_obs::expose`]) — the
+    /// same text a `metrics` FSV1 request returns, reachable by any
+    /// HTTP/1.0 scraper or raw TCP client.
+    pub metrics_addr: Option<String>,
     /// Telemetry sink. A disabled recorder is upgraded to in-memory so
     /// `stats` responses always carry real numbers.
     pub recorder: Recorder,
@@ -109,6 +118,7 @@ impl Default for ServeOptions {
             default_deadline: None,
             inference_slowdown: Duration::ZERO,
             reload_poll: None,
+            metrics_addr: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -124,6 +134,15 @@ pub(crate) struct Metrics {
     reload_errors: Counter,
     /// Requests shed without inference: `overloaded` + `deadline_exceeded`.
     shed_total: Counter,
+    /// Sheds at admission (`overloaded` + `shutting_down`).
+    shed_admission: Counter,
+    /// Sheds in queue (`deadline_exceeded`).
+    shed_queue: Counter,
+    /// Per-stage latency decomposition for served decides.
+    pub(crate) stages: StageHistograms,
+    /// Parameter count of the serving policy (set once at startup; the
+    /// digest pin guarantees reloads cannot change it).
+    model_params: Gauge,
     /// Live admission-queue depth (mirrored by the batch queue).
     pub(crate) queue_depth: Gauge,
     err_bad_magic: Counter,
@@ -154,6 +173,10 @@ impl Metrics {
             reloads: recorder.counter("serve.reloads"),
             reload_errors: recorder.counter("serve.reload_errors"),
             shed_total: recorder.counter("serve.shed_total"),
+            shed_admission: recorder.counter("serve.shed.admission"),
+            shed_queue: recorder.counter("serve.shed.queue"),
+            stages: StageHistograms::register(&recorder),
+            model_params: recorder.gauge("serve.model_params"),
             queue_depth: recorder.gauge("serve.queue_depth"),
             err_bad_magic: recorder.counter("serve.err.bad_magic"),
             err_oversized: recorder.counter("serve.err.oversized"),
@@ -218,17 +241,21 @@ pub(crate) struct Shared {
     write_timeout: Option<Duration>,
 }
 
+/// Summarizes a latency histogram into the wire quantile triple.
+fn latency_summary(h: &Histogram) -> LatencySummary {
+    let count = h.count();
+    let q = |p: f64| if count == 0 { 0.0 } else { h.quantile(p) };
+    LatencySummary {
+        count,
+        p50_us: q(0.5),
+        p99_us: q(0.99),
+        p999_us: q(0.999),
+    }
+}
+
 impl Shared {
     fn stats(&self) -> ServeStats {
         let m = &self.metrics;
-        let count = m.latency_us.count();
-        let q = |p: f64| {
-            if count == 0 {
-                0.0
-            } else {
-                m.latency_us.quantile(p)
-            }
-        };
         ServeStats {
             seq: self.slot.read().seq,
             digest: self.digest,
@@ -257,12 +284,15 @@ impl Shared {
                 truncated: m.err_truncated.value(),
                 stalled_write: m.err_stalled_write.value(),
             },
-            latency_us: LatencySummary {
-                count,
-                p50_us: q(0.5),
-                p99_us: q(0.99),
-                p999_us: q(0.999),
-            },
+            latency_us: latency_summary(&m.latency_us),
+            stages: Some(StageSummary {
+                queue_wait_us: latency_summary(&m.stages.queue_wait_us),
+                batch_linger_us: latency_summary(&m.stages.batch_linger_us),
+                inference_us: latency_summary(&m.stages.inference_us),
+                write_us: latency_summary(&m.stages.write_us),
+                shed_admission: m.shed_admission.value(),
+                shed_queue: m.shed_queue.value(),
+            }),
         }
     }
 
@@ -324,9 +354,11 @@ impl Shared {
 pub struct DecisionServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     accept: Option<JoinHandle<()>>,
     infer: Option<JoinHandle<()>>,
     poller: Option<JoinHandle<()>>,
+    scrape: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     stopped: bool,
 }
@@ -351,6 +383,7 @@ impl DecisionServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let metrics = Metrics::new(recorder);
+        metrics.model_params.set(snap.param_count() as f64);
         let queue = BatchQueue::new(opts.max_queue.max(1), metrics.queue_depth.clone());
         let shared = Arc::new(Shared {
             obs_dim: snap.obs_dim(),
@@ -394,12 +427,24 @@ impl DecisionServer {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || reload_poll_loop(shared, interval))
         });
+        let (scrape, metrics_addr) = match &opts.metrics_addr {
+            Some(bind) => {
+                let scrape_listener = TcpListener::bind(bind.as_str())?;
+                let scrape_addr = scrape_listener.local_addr()?;
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || scrape_loop(scrape_listener, shared));
+                (Some(handle), Some(scrape_addr))
+            }
+            None => (None, None),
+        };
         Ok(DecisionServer {
             shared,
             addr: local,
+            metrics_addr,
             accept: Some(accept),
             infer: Some(infer),
             poller,
+            scrape,
             conns,
             stopped: false,
         })
@@ -408,6 +453,12 @@ impl DecisionServer {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-scrape address, when
+    /// [`ServeOptions::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Sequence number of the snapshot currently serving.
@@ -445,6 +496,7 @@ impl DecisionServer {
                 code: codes::RELOAD_FAILED.to_string(),
                 msg,
                 retry_after_ms: None,
+                stage: None,
             })
     }
 
@@ -480,7 +532,13 @@ impl DecisionServer {
         self.shared.queue.notify();
         // Unblock the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrape.take() {
             let _ = h.join();
         }
         if let Some(h) = self.infer.take() {
@@ -538,10 +596,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
 
 fn inference_loop(shared: Arc<Shared>) {
     loop {
-        let Drained { live, expired } =
-            shared
-                .queue
-                .collect(shared.max_batch, shared.linger, &shared.shutdown);
+        let Drained {
+            live,
+            expired,
+            window_open,
+            collected,
+        } = shared
+            .queue
+            .collect(shared.max_batch, shared.linger, &shared.shutdown);
         // Shed expired entries first: they are answered (by their
         // connection threads) with `deadline_exceeded` and never reach
         // the policy.
@@ -556,6 +618,9 @@ fn inference_loop(shared: Arc<Shared>) {
             }
             continue;
         }
+        // The slowdown is stamped inside the inference stage so injected
+        // model-cost faults attribute to inference, not batching.
+        let infer_start = Instant::now();
         if !shared.inference_slowdown.is_zero() {
             std::thread::sleep(shared.inference_slowdown);
         }
@@ -566,9 +631,15 @@ fn inference_loop(shared: Arc<Shared>) {
         let n = live.len() as u64;
         match loaded.snap.decide_rows(&rows) {
             Ok(all_freqs) => {
+                let timing = BatchTiming {
+                    window_open,
+                    collected,
+                    infer_start,
+                    infer_end: Instant::now(),
+                };
                 for (pending, freqs) in live.into_iter().zip(all_freqs) {
                     // A receiver gone (client thread died) is not an error.
-                    let _ = pending.tx.send(Ok((loaded.seq, freqs)));
+                    let _ = pending.tx.send(Ok((loaded.seq, freqs, timing)));
                 }
                 shared.metrics.batches.inc();
                 shared.metrics.decisions.add(n);
@@ -618,12 +689,42 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
             Ok(FrameRead::Eof) => return,
             Ok(FrameRead::Frame(payload)) => {
                 let t0 = Instant::now();
-                let (response, close) = handle_payload(&shared, &payload);
+                let (response, close, lifecycle) = handle_payload(&shared, &payload);
+                let w0 = Instant::now();
                 let sent = send_response(&shared, &mut stream, &response);
-                shared
-                    .metrics
-                    .latency_us
-                    .observe(t0.elapsed().as_secs_f64() * 1e6);
+                let write_us = w0.elapsed().as_secs_f64() * 1e6;
+                let total_us = t0.elapsed().as_secs_f64() * 1e6;
+                shared.metrics.latency_us.observe(total_us);
+                // The write stage only exists for requests that went
+                // through the pipeline (a non-empty stage map).
+                if !lifecycle.stages_us.is_empty() {
+                    shared.metrics.stages.write_us.observe(write_us);
+                }
+                if let Some(ctx) = lifecycle.ctx {
+                    let mut stages_us = lifecycle.stages_us;
+                    if !stages_us.is_empty() {
+                        stages_us.insert("write".to_string(), write_us);
+                    }
+                    let outcome = if response.ok {
+                        "ok".to_string()
+                    } else {
+                        response
+                            .code
+                            .clone()
+                            .unwrap_or_else(|| "unknown".to_string())
+                    };
+                    let record = TraceRecord {
+                        trace_id: ctx.id,
+                        attempt: ctx.attempt,
+                        op: lifecycle.op,
+                        outcome,
+                        shed_stage: response.stage.clone(),
+                        seq: response.seq,
+                        stages_us,
+                        total_us,
+                    };
+                    shared.metrics.recorder.emit(record.into_event());
+                }
                 if close || !sent {
                     return;
                 }
@@ -705,9 +806,33 @@ fn send_response(shared: &Shared, stream: &mut TcpStream, response: &WireRespons
     }
 }
 
-/// Dispatches one parsed frame. Returns the response and whether the
-/// connection must close afterwards.
-fn handle_payload(shared: &Shared, payload: &[u8]) -> (WireResponse, bool) {
+/// What the connection thread needs beyond the response to finish a
+/// request's lifecycle record: the validated trace context (when the
+/// client sent one) and the stage durations measured on the decide path.
+/// The write stage and the outcome are only known after the response is
+/// on the wire, so the connection thread completes the record.
+struct Lifecycle {
+    /// Request kind (`decide`, `ping`, ...; `unknown` when unparseable).
+    op: String,
+    /// Validated client trace context; `None` disables trace emission.
+    ctx: Option<TraceContext>,
+    /// Measured pipeline-stage durations in µs (decide path only).
+    stages_us: BTreeMap<String, f64>,
+}
+
+impl Lifecycle {
+    fn new(op: &str) -> Self {
+        Lifecycle {
+            op: op.to_string(),
+            ctx: None,
+            stages_us: BTreeMap::new(),
+        }
+    }
+}
+
+/// Dispatches one parsed frame. Returns the response, whether the
+/// connection must close afterwards, and the request's lifecycle record.
+fn handle_payload(shared: &Shared, payload: &[u8]) -> (WireResponse, bool, Lifecycle) {
     let request: WireRequest = match decode_json(payload) {
         Ok(r) => r,
         Err(e) => {
@@ -715,17 +840,40 @@ fn handle_payload(shared: &Shared, payload: &[u8]) -> (WireResponse, bool) {
             return (
                 WireResponse::error(codes::BAD_JSON, format!("unparseable request: {e}")),
                 false,
+                Lifecycle::new("unknown"),
             );
         }
     };
+    let mut lifecycle = Lifecycle::new(&request.kind);
+    if let Some(trace) = &request.trace {
+        match TraceContext::parse(trace) {
+            Ok(ctx) => lifecycle.ctx = Some(ctx),
+            Err(e) => {
+                // Malformed trace context is a request-level error, not a
+                // frame-level one: the connection stays usable.
+                shared.metrics.err_bad_request.inc();
+                return (
+                    WireResponse::error(codes::BAD_REQUEST, format!("malformed trace: {e}")),
+                    false,
+                    lifecycle,
+                );
+            }
+        }
+    }
     let response = match request.kind.as_str() {
         "ping" => WireResponse::pong(shared.slot.read().seq, shared.digest),
         "stats" => WireResponse::stats(shared.stats()),
+        "metrics" => WireResponse::metrics_text(fl_obs::expose::render_prometheus(
+            &shared.metrics.recorder.metrics_snapshot(),
+        )),
         "reload" => match shared.try_reload() {
             Ok((reloaded, seq)) => WireResponse::reloaded(reloaded, seq),
             Err(msg) => WireResponse::error(codes::RELOAD_FAILED, msg),
         },
-        "decide" => return (handle_decide(shared, request), false),
+        "decide" => {
+            let response = handle_decide(shared, request, &mut lifecycle.stages_us);
+            return (response, false, lifecycle);
+        }
         other => {
             shared.metrics.err_bad_request.inc();
             WireResponse::error(
@@ -734,10 +882,14 @@ fn handle_payload(shared: &Shared, payload: &[u8]) -> (WireResponse, bool) {
             )
         }
     };
-    (response, false)
+    (response, false, lifecycle)
 }
 
-fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
+fn handle_decide(
+    shared: &Shared,
+    request: WireRequest,
+    stages_us: &mut BTreeMap<String, f64>,
+) -> WireResponse {
     let Some(obs) = request.obs else {
         shared.metrics.err_bad_request.inc();
         return WireResponse::error(codes::BAD_REQUEST, "decide request carries no obs");
@@ -773,7 +925,9 @@ fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
     // refused with a retryable code so clients fail over cleanly.
     if shared.draining.load(Ordering::Acquire) {
         shared.metrics.err_shutting_down.inc();
-        return WireResponse::error(codes::SHUTTING_DOWN, "server is draining for shutdown");
+        shared.metrics.shed_admission.inc();
+        return WireResponse::error(codes::SHUTTING_DOWN, "server is draining for shutdown")
+            .with_stage("admission");
     }
     let now = Instant::now();
     let deadline = request
@@ -792,6 +946,7 @@ fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
         let depth = shared.queue.depth();
         shared.metrics.err_overloaded.inc();
         shared.metrics.shed_total.inc();
+        shared.metrics.shed_admission.inc();
         return WireResponse::error_with_retry(
             codes::OVERLOADED,
             format!(
@@ -799,17 +954,39 @@ fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
                 shared.max_queue
             ),
             shared.retry_after_ms(depth),
-        );
+        )
+        .with_stage("admission");
     }
     match rx.recv() {
-        Ok(Ok((seq, freqs))) => WireResponse::decided(seq, freqs),
+        Ok(Ok((seq, freqs, timing))) => {
+            // Decompose this request's latency into pipeline stages from
+            // the batch timestamps (`saturating` guards clock skew across
+            // threads at µs granularity).
+            let us = |d: Duration| d.as_secs_f64() * 1e6;
+            let queue_wait = us(timing.window_open.saturating_duration_since(now));
+            let linger_from = timing.window_open.max(now);
+            let batch_linger = us(timing.collected.saturating_duration_since(linger_from));
+            let inference = us(timing
+                .infer_end
+                .saturating_duration_since(timing.infer_start));
+            let m = &shared.metrics;
+            m.stages.queue_wait_us.observe(queue_wait);
+            m.stages.batch_linger_us.observe(batch_linger);
+            m.stages.inference_us.observe(inference);
+            stages_us.insert("queue_wait".to_string(), queue_wait);
+            stages_us.insert("batch_linger".to_string(), batch_linger);
+            stages_us.insert("inference".to_string(), inference);
+            WireResponse::decided(seq, freqs)
+        }
         Ok(Err(BatchError::Deadline { waited_ms })) => {
             shared.metrics.err_deadline.inc();
             shared.metrics.shed_total.inc();
+            shared.metrics.shed_queue.inc();
             WireResponse::error(
                 codes::DEADLINE_EXCEEDED,
                 format!("deadline expired after {waited_ms} ms in the batch queue"),
             )
+            .with_stage("queue_wait")
         }
         Ok(Err(BatchError::Internal(msg))) => {
             shared.metrics.err_internal.inc();
@@ -819,5 +996,29 @@ fn handle_decide(shared: &Shared, request: WireRequest) -> WireResponse {
             shared.metrics.err_internal.inc();
             WireResponse::error(codes::INTERNAL, "server shut down mid-request")
         }
+    }
+}
+
+/// Answers every metrics-port connection with one Prometheus exposition
+/// snapshot over HTTP/1.0, then closes. The request bytes are drained
+/// best-effort and never parsed: any client — an HTTP scraper or a raw
+/// TCP probe that sends nothing — gets the same scrape.
+fn scrape_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let body = fl_obs::expose::render_prometheus(&shared.metrics.recorder.metrics_snapshot());
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
     }
 }

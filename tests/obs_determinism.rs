@@ -340,6 +340,68 @@ fn histogram_quantiles_hand_computed() {
     assert!(fl_obs::histogram_quantile(&[1.0], &[0, 0], 0.5).is_nan());
 }
 
+/// Trace events (schema v2) are physical: interleaving them anywhere in
+/// a log leaves the deterministic projection byte-identical, and the
+/// versioned validator accepts them while the v1 allowlist does not.
+#[test]
+fn trace_events_do_not_perturb_the_det_projection() {
+    use fl_obs::trace::TraceRecord;
+    use fl_obs::Event;
+
+    let det_events = |rec: &Recorder| {
+        rec.emit(Event::det("episode", "ep:1").f("mean_cost", 1.5));
+        rec.emit(Event::det("fl_round", "round:1:1").u("completed", 2));
+    };
+    let trace_event = |attempt: u64| {
+        TraceRecord {
+            trace_id: "feedc0de12345678".to_string(),
+            attempt,
+            op: "decide".to_string(),
+            outcome: "ok".to_string(),
+            shed_stage: None,
+            seq: Some(1),
+            stages_us: [
+                ("queue_wait".to_string(), 4.0),
+                ("inference".to_string(), 90.0),
+            ]
+            .into_iter()
+            .collect(),
+            total_us: 101.0,
+        }
+        .into_event()
+    };
+
+    // Reference: deterministic events only.
+    let plain = Recorder::in_memory();
+    det_events(&plain);
+    let reference = fl_obs::det_projection(&plain.events_text()).unwrap();
+    assert_eq!(reference.len(), 2);
+
+    // Same det events with trace events woven before, between, and after.
+    let traced = Recorder::in_memory();
+    traced.emit(trace_event(0));
+    det_events(&traced);
+    traced.emit(trace_event(1));
+    let text = traced.events_text();
+    assert_eq!(
+        fl_obs::det_projection(&text).unwrap(),
+        reference,
+        "physical trace events leaked into the det projection"
+    );
+
+    // Every line of the traced log passes the v2 schema; the trace lines
+    // are exactly what the v1 allowlist rejects.
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        fl_obs::validate_line_versioned(line, fl_obs::SCHEMA_VERSION).unwrap();
+        let v1 = fl_obs::validate_line_versioned(line, 1);
+        if line.contains("\"ev\":\"trace\"") {
+            assert!(v1.is_err(), "v1 must not know the trace kind: {line}");
+        } else {
+            v1.unwrap();
+        }
+    }
+}
+
 /// Exact-sample quantiles (type-7 linear interpolation) against
 /// hand-computed values.
 #[test]

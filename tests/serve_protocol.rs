@@ -169,6 +169,7 @@ fn semantic_errors_survive_same_connection() {
         obs: None,
         digest: None,
         deadline_ms: None,
+        trace: None,
     };
     expect_code(c.request(&no_obs), codes::BAD_REQUEST);
 
